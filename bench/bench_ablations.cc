@@ -1,0 +1,185 @@
+// Ablations over the design choices DESIGN.md calls out (not tables from
+// the paper, but checks that the reproduction's conclusions are not
+// artifacts of a particular choice):
+//   1. Tie-breaking convention (mean / optimistic / pessimistic).
+//   2. Probabilistic sampling with score weights vs uniform-over-support.
+//   3. Per-column threshold optimization vs a fixed global threshold.
+//   4. Type-noise rate vs the number of false easy negatives.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "recommenders/easy_negatives.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgeval {
+namespace {
+
+void TieAblation(const Dataset& dataset, const FilterIndex& filter,
+                 const KgeModel& model) {
+  bench::PrintHeader("Ablation 1: tie-breaking convention (full ranking)");
+  TextTable table({"Convention", "MRR", "Hits@1", "Hits@10"});
+  for (auto [tie, name] :
+       {std::pair{TieBreak::kMean, "mean (default)"},
+        std::pair{TieBreak::kOptimistic, "optimistic"},
+        std::pair{TieBreak::kPessimistic, "pessimistic"}}) {
+    FullEvalOptions options;
+    options.tie = tie;
+    options.max_triples = 1500;
+    const RankingMetrics m =
+        EvaluateFullRanking(model, dataset, filter, Split::kTest, options)
+            .metrics;
+    table.AddRow({name, bench::F(m.mrr, 4), bench::F(m.hits1, 4),
+                  bench::F(m.hits10, 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "a large optimistic-vs-pessimistic gap would indicate score "
+      "collapse; trained models should show a small one");
+}
+
+void WeightAblation(const Dataset& dataset, const FilterIndex& filter,
+                    const KgeModel& model, double truth) {
+  bench::PrintHeader(
+      "Ablation 2: probabilistic weights vs uniform over the same support");
+  TextTable table({"Sampler", "fraction", "MRR estimate", "|err|"});
+  for (double fraction : {0.02, 0.05, 0.1}) {
+    for (bool weighted : {true, false}) {
+      FrameworkOptions options;
+      options.recommender = RecommenderType::kLwd;
+      options.strategy = SamplingStrategy::kProbabilistic;
+      options.sample_fraction = fraction;
+      auto framework =
+          EvaluationFramework::Build(&dataset, options).ValueOrDie();
+      double estimate;
+      if (weighted) {
+        estimate =
+            framework->Estimate(model, filter, Split::kTest).metrics.mrr;
+      } else {
+        // Same support, uniform weights: rebuild pools with weight 1.
+        CandidateSets uniform = framework->sets();
+        for (auto& w : uniform.weights) {
+          std::fill(w.begin(), w.end(), 1.0f);
+        }
+        Rng rng(3);
+        const SampledCandidates pools = DrawCandidates(
+            SamplingStrategy::kProbabilistic, &uniform,
+            dataset.num_entities(), framework->SampleSize(),
+            NeededSlots(dataset, Split::kTest),
+            2 * dataset.num_relations(), &rng);
+        estimate = EvaluateSampled(model, dataset, filter, Split::kTest,
+                                   pools)
+                       .metrics.mrr;
+      }
+      table.AddRow({weighted ? "score-weighted" : "uniform-support",
+                    bench::Pct(fraction, 0), bench::F(estimate, 4),
+                    bench::F(std::abs(estimate - truth), 4)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "score weighting should match or beat uniform-support sampling at "
+      "small fractions: hard negatives carry high scores and enter the "
+      "pool first");
+}
+
+void ThresholdAblation(const Dataset& dataset, const FilterIndex& filter,
+                       const KgeModel& model, double truth) {
+  bench::PrintHeader(
+      "Ablation 3: per-column threshold optimization vs keep-all-nonzero");
+  auto recommender = CreateRecommender(RecommenderType::kLwd);
+  const RecommenderScores scores = recommender->Fit(dataset).ValueOrDie();
+
+  TextTable table({"Sets", "RR (macro)", "MRR estimate @10%", "|err|"});
+  for (bool optimized : {true, false}) {
+    CandidateSets sets;
+    if (optimized) {
+      sets = BuildStaticSets(scores, dataset);
+    } else {
+      // Keep every nonzero-score entity (threshold -> 0).
+      StaticSetOptions options;
+      options.threshold_grid = 1;
+      sets = BuildStaticSets(scores, dataset, options);
+      for (auto& tau : sets.thresholds) tau = 0.0f;
+      sets = BuildProbabilisticSets(scores, dataset);  // Same support.
+      sets.weights.clear();
+      sets.weights.resize(sets.sets.size());
+    }
+    Rng rng(4);
+    const SampledCandidates pools = DrawCandidates(
+        SamplingStrategy::kStatic, &sets, dataset.num_entities(),
+        dataset.num_entities() / 10, NeededSlots(dataset, Split::kTest),
+        2 * dataset.num_relations(), &rng);
+    const double estimate =
+        EvaluateSampled(model, dataset, filter, Split::kTest, pools)
+            .metrics.mrr;
+    table.AddRow({optimized ? "optimized thresholds" : "all nonzero",
+                  bench::F(sets.MacroReductionRate(), 3),
+                  bench::F(estimate, 4),
+                  bench::F(std::abs(estimate - truth), 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "optimized thresholds shrink the sets (higher RR) so a fixed n_s "
+      "covers more of each set — tighter estimates at equal budget");
+}
+
+void NoiseAblation(const bench::BenchArgs& args) {
+  bench::PrintHeader(
+      "Ablation 4: type-noise rate vs false easy negatives (L-WD)");
+  TextTable table({"noise_rate", "easy negatives (%)",
+                   "false easy negatives", "injected noise in test"});
+  for (double noise : {0.0, 0.002, 0.01, 0.05}) {
+    SynthConfig config =
+        GetPreset("codex-s", args.paper_scale ? PresetScale::kPaper
+                                              : PresetScale::kScaled)
+            .ValueOrDie();
+    config.noise_rate = noise;
+    const SynthOutput synth = GenerateDataset(config).ValueOrDie();
+    auto recommender = CreateRecommender(RecommenderType::kLwd);
+    const RecommenderScores scores =
+        recommender->Fit(synth.dataset).ValueOrDie();
+    const EasyNegativeReport report =
+        MineEasyNegatives(scores, synth.dataset, 0);
+    table.AddRow({bench::F(noise, 3),
+                  bench::F(100.0 * report.easy_fraction, 1),
+                  FormatWithCommas(report.false_easy),
+                  FormatWithCommas(static_cast<long long>(
+                      synth.noisy_test_indices.size()))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "false easy negatives scale with the injected KG noise and vanish on "
+      "a clean graph — they are data errors, not recommender errors "
+      "(the paper's Table 10 reading)");
+}
+
+}  // namespace
+}  // namespace kgeval
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const std::string preset =
+      args.only_dataset.empty() ? "codex-m" : args.only_dataset;
+
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+  bench::TrainSpec spec;
+  spec.epochs = args.epochs > 0 ? args.epochs : (args.fast ? 3 : 12);
+  auto model = bench::TrainModel(dataset, spec);
+  const double truth =
+      EvaluateFullRanking(*model, dataset, filter, Split::kTest).metrics.mrr;
+  std::printf("dataset %s, ComplEx, true test MRR %.4f\n", preset.c_str(),
+              truth);
+
+  TieAblation(dataset, filter, *model);
+  WeightAblation(dataset, filter, *model, truth);
+  ThresholdAblation(dataset, filter, *model, truth);
+  NoiseAblation(args);
+  return 0;
+}

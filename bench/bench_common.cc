@@ -1,0 +1,77 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+namespace bench {
+
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--paper-scale") {
+      args.paper_scale = true;
+    } else if (arg == "--fast") {
+      args.fast = true;
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      args.epochs = std::atoi(arg.c_str() + std::strlen("--epochs="));
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      args.only_dataset = arg.substr(std::strlen("--dataset="));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --paper-scale --fast "
+                   "--epochs=N --dataset=NAME)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+SynthOutput LoadPreset(const std::string& name, const BenchArgs& args) {
+  const PresetScale scale =
+      args.paper_scale ? PresetScale::kPaper : PresetScale::kScaled;
+  SynthConfig config = GetPreset(name, scale).ValueOrDie();
+  return GenerateDataset(config).ValueOrDie();
+}
+
+std::unique_ptr<KgeModel> TrainModel(const Dataset& dataset,
+                                     const TrainSpec& spec) {
+  ModelOptions options;
+  options.dim = spec.dim;
+  options.adam.learning_rate = spec.learning_rate;
+  options.seed = spec.seed;
+  auto model = CreateModel(spec.type, dataset.num_entities(),
+                           dataset.num_relations(), options)
+                   .ValueOrDie();
+  TrainerOptions trainer_options;
+  trainer_options.epochs = spec.epochs;
+  trainer_options.negatives_per_positive = spec.negatives;
+  trainer_options.seed = spec.seed * 7919;
+  Trainer trainer(&dataset, trainer_options);
+  KGEVAL_CHECK(trainer.Train(model.get()).ok());
+  return model;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+void PrintNote(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+std::string F(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+std::string Pct(double fraction, int digits) {
+  return StrFormat("%.*f%%", digits, 100.0 * fraction);
+}
+
+}  // namespace bench
+}  // namespace kgeval

@@ -1,0 +1,60 @@
+#ifndef KGEVAL_BENCH_BENCH_COMMON_H_
+#define KGEVAL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "models/kge_model.h"
+#include "models/trainer.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+
+namespace kgeval {
+namespace bench {
+
+/// Flags shared by every bench binary:
+///   --paper-scale   use Table 4 dataset sizes instead of the scaled ones
+///   --fast          trim epochs/repetitions for a smoke run
+///   --epochs=N      override the training epoch count
+///   --dataset=NAME  restrict multi-dataset benches to one preset
+struct BenchArgs {
+  bool paper_scale = false;
+  bool fast = false;
+  int32_t epochs = -1;
+  std::string only_dataset;
+};
+
+BenchArgs ParseArgs(int argc, char** argv);
+
+/// Generates the named preset at the scale selected by `args`.
+SynthOutput LoadPreset(const std::string& name, const BenchArgs& args);
+
+/// A model + training recipe used by the benches.
+struct TrainSpec {
+  ModelType type = ModelType::kComplEx;
+  int32_t dim = 32;
+  float learning_rate = 3e-3f;
+  int32_t epochs = 12;
+  int32_t negatives = 8;
+  uint64_t seed = 11;
+};
+
+/// Trains a fresh model on dataset.train(). Dies on invalid specs (benches
+/// are not recoverable anyway).
+std::unique_ptr<KgeModel> TrainModel(const Dataset& dataset,
+                                     const TrainSpec& spec);
+
+/// Section header: "==== title ====".
+void PrintHeader(const std::string& title);
+
+/// Wrapped free-text note under a table.
+void PrintNote(const std::string& text);
+
+/// Compact numeric formatting for table cells.
+std::string F(double value, int digits = 3);
+std::string Pct(double fraction, int digits = 1);
+
+}  // namespace bench
+}  // namespace kgeval
+
+#endif  // KGEVAL_BENCH_BENCH_COMMON_H_

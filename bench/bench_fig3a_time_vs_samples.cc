@@ -1,0 +1,70 @@
+// Reproduces Figure 3a: evaluation time (log scale in the paper) against
+// the sample size on the wikikg2 test set, for Random / Static /
+// Probabilistic sampling, with the full-evaluation time as the reference
+// line.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const std::string preset =
+      args.only_dataset.empty() ? "wikikg2" : args.only_dataset;
+
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+  bench::TrainSpec spec;
+  spec.epochs = args.epochs > 0 ? args.epochs : (args.fast ? 2 : 5);
+  auto model = bench::TrainModel(dataset, spec);
+
+  WallTimer full_timer;
+  const FullEvalResult full =
+      EvaluateFullRanking(*model, dataset, filter, Split::kTest);
+  const double full_seconds = full_timer.Seconds();
+
+  bench::PrintHeader(
+      StrFormat("Figure 3a: evaluation time vs sample size (%s)",
+                preset.c_str()));
+  std::printf("full evaluation: %.3f s (true MRR %.4f)\n\n", full_seconds,
+              full.metrics.mrr);
+
+  TextTable table({"Sample size (% of |E|)", "Random (s)", "Static (s)",
+                   "Probabilistic (s)"});
+  const std::vector<double> fractions =
+      args.fast ? std::vector<double>{0.025, 0.1}
+                : std::vector<double>{0.01, 0.025, 0.05, 0.1, 0.2, 0.4};
+  for (double fraction : fractions) {
+    std::vector<std::string> row = {bench::F(100.0 * fraction, 1)};
+    for (SamplingStrategy strategy :
+         {SamplingStrategy::kRandom, SamplingStrategy::kStatic,
+          SamplingStrategy::kProbabilistic}) {
+      FrameworkOptions options;
+      options.strategy = strategy;
+      options.recommender = RecommenderType::kLwd;
+      options.sample_fraction = fraction;
+      auto framework =
+          EvaluationFramework::Build(&dataset, options).ValueOrDie();
+      WallTimer timer;
+      const SampledEvalResult estimate =
+          framework->Estimate(*model, filter, Split::kTest);
+      (void)estimate;
+      row.push_back(bench::F(timer.Seconds(), 3));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "paper shape: all strategies sit far below the full-evaluation line; "
+      "Static grows sub-linearly because its pools are capped at the "
+      "candidate-set size, Probabilistic stays flat once the positive-score "
+      "support is exhausted");
+  return 0;
+}

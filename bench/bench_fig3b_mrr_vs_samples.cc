@@ -1,0 +1,67 @@
+// Reproduces Figure 3b: the filtered-MRR estimate against the sample size
+// on the wikikg2 test set (Random / Static / Probabilistic vs the true
+// value).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const std::string preset =
+      args.only_dataset.empty() ? "wikikg2" : args.only_dataset;
+
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+  bench::TrainSpec spec;
+  spec.epochs = args.epochs > 0 ? args.epochs : (args.fast ? 2 : 6);
+  auto model = bench::TrainModel(dataset, spec);
+
+  const FullEvalResult full =
+      EvaluateFullRanking(*model, dataset, filter, Split::kTest);
+
+  bench::PrintHeader(StrFormat(
+      "Figure 3b: filtered MRR estimate vs sample size (%s); true MRR = %.4f",
+      preset.c_str(), full.metrics.mrr));
+
+  TextTable table({"Sample size (% of |E|)", "Probabilistic", "Random",
+                   "Static", "True MRR"});
+  const std::vector<double> fractions =
+      args.fast ? std::vector<double>{0.02, 0.1}
+                : std::vector<double>{0.005, 0.01, 0.02, 0.05, 0.1, 0.15,
+                                      0.2};
+  for (double fraction : fractions) {
+    std::vector<std::string> row = {bench::F(100.0 * fraction, 1)};
+    double values[3] = {0, 0, 0};
+    int i = 0;
+    for (SamplingStrategy strategy :
+         {SamplingStrategy::kProbabilistic, SamplingStrategy::kRandom,
+          SamplingStrategy::kStatic}) {
+      FrameworkOptions options;
+      options.strategy = strategy;
+      options.recommender = RecommenderType::kLwd;
+      options.sample_fraction = fraction;
+      auto framework =
+          EvaluationFramework::Build(&dataset, options).ValueOrDie();
+      values[i++] =
+          framework->Estimate(*model, filter, Split::kTest).metrics.mrr;
+    }
+    row.push_back(bench::F(values[0], 4));
+    row.push_back(bench::F(values[1], 4));
+    row.push_back(bench::F(values[2], 4));
+    row.push_back(bench::F(full.metrics.mrr, 4));
+    table.AddRow(row);
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "paper shape: Random stays far above the true value across the whole "
+      "sweep; Probabilistic locks onto the truth at ~2% of |E|; Static "
+      "converges from above as its sets are subsampled less");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Figure 3c: the estimated validation MRR across training on
+// wikikg2 — the practical use case of the framework: monitoring a model
+// during training without paying for full evaluations.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "models/trainer.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const std::string preset =
+      args.only_dataset.empty() ? "wikikg2" : args.only_dataset;
+  const int32_t epochs = args.epochs > 0 ? args.epochs : (args.fast ? 3 : 8);
+
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+
+  std::map<SamplingStrategy, std::unique_ptr<EvaluationFramework>>
+      frameworks;
+  for (SamplingStrategy strategy :
+       {SamplingStrategy::kRandom, SamplingStrategy::kStatic,
+        SamplingStrategy::kProbabilistic}) {
+    FrameworkOptions options;
+    options.strategy = strategy;
+    options.recommender = RecommenderType::kLwd;
+    // ~ the paper's n_s = 200,000 on 2.5M entities (~8%).
+    options.sample_fraction = 0.08;
+    frameworks[strategy] =
+        EvaluationFramework::Build(&dataset, options).ValueOrDie();
+  }
+
+  ModelOptions model_options;
+  model_options.dim = 32;
+  model_options.adam.learning_rate = 3e-3f;
+  auto model = CreateModel(ModelType::kComplEx, dataset.num_entities(),
+                           dataset.num_relations(), model_options)
+                   .ValueOrDie();
+  TrainerOptions trainer_options;
+  trainer_options.epochs = epochs;
+  trainer_options.negatives_per_positive = 8;
+  Trainer trainer(&dataset, trainer_options);
+
+  bench::PrintHeader(StrFormat(
+      "Figure 3c: estimated validation MRR across training (%s, ComplEx)",
+      preset.c_str()));
+  TextTable table({"Step (triples seen)", "Probabilistic", "Random",
+                   "Static", "True MRR"});
+  FullEvalOptions full_options;
+  full_options.max_triples = 3000;
+  const Status status = trainer.Train(
+      model.get(), [&](int32_t epoch, const KgeModel& m) {
+        const double truth =
+            EvaluateFullRanking(m, dataset, filter, Split::kValid,
+                                full_options)
+                .metrics.mrr;
+        const double prob =
+            frameworks[SamplingStrategy::kProbabilistic]
+                ->Estimate(m, filter, Split::kValid,
+                           full_options.max_triples)
+                .metrics.mrr;
+        const double random =
+            frameworks[SamplingStrategy::kRandom]
+                ->Estimate(m, filter, Split::kValid,
+                           full_options.max_triples)
+                .metrics.mrr;
+        const double station =
+            frameworks[SamplingStrategy::kStatic]
+                ->Estimate(m, filter, Split::kValid,
+                           full_options.max_triples)
+                .metrics.mrr;
+        table.AddRow({FormatWithCommas(static_cast<long long>(epoch + 1) *
+                                       dataset.train().size()),
+                      bench::F(prob, 4), bench::F(random, 4),
+                      bench::F(station, 4), bench::F(truth, 4)});
+      });
+  KGEVAL_CHECK(status.ok());
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "paper shape: the Probabilistic curve coincides with the true MRR "
+      "across training; Random tracks the trend but at a large upward "
+      "offset — fine for early stopping, useless as an absolute number");
+  return 0;
+}

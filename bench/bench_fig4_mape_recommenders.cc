@@ -1,0 +1,95 @@
+// Reproduces Figure 4 (and the appendix Figure 5): MAPE of the estimated
+// filtered MRR against the maximum sample size, per relation recommender,
+// with 95% confidence intervals over repeated samplings.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "stats/correlation.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  // Figure 4 shows FB15k, CoDEx-M and YAGO3-10; Figure 5 adds FB15k-237,
+  // CoDEx-S, CoDEx-L and wikikg2.
+  std::vector<std::string> datasets = {"fb15k", "codex-m", "yago310",
+                                       "fb15k237", "codex-s", "codex-l"};
+  if (!args.only_dataset.empty()) datasets = {args.only_dataset};
+  if (args.fast) datasets = {"codex-s"};
+  const int reps = args.fast ? 2 : 5;
+  const std::vector<double> fractions =
+      args.fast ? std::vector<double>{0.05, 0.2}
+                : std::vector<double>{0.01, 0.03, 0.05, 0.1, 0.2, 0.3};
+
+  const RecommenderType recommenders[] = {
+      RecommenderType::kPt,      RecommenderType::kDbhT,
+      RecommenderType::kLwd,     RecommenderType::kLwdT,
+      RecommenderType::kOntoSim, RecommenderType::kPie};
+
+  for (const std::string& name : datasets) {
+    const SynthOutput synth = bench::LoadPreset(name, args);
+    const Dataset& dataset = synth.dataset;
+    const FilterIndex filter(dataset);
+    bench::TrainSpec spec;
+    spec.epochs = args.epochs > 0 ? args.epochs : (args.fast ? 3 : 10);
+    auto model = bench::TrainModel(dataset, spec);
+    FullEvalOptions full_options;
+    full_options.max_triples = 1500;  // Same prefix for truth and samples.
+    const double truth =
+        EvaluateFullRanking(*model, dataset, filter, Split::kTest,
+                            full_options)
+            .metrics.mrr;
+
+    bench::PrintHeader(StrFormat(
+        "Figure 4/5: MAPE (%%) vs sample size on %s (true MRR %.4f); "
+        "cells are mean +/- 95%% CI over %d samplings",
+        name.c_str(), truth, reps));
+    std::vector<std::string> header = {"Recommender"};
+    for (double fraction : fractions) {
+      header.push_back(bench::F(100.0 * fraction, 0) + "%");
+    }
+    TextTable table(header);
+    const std::vector<int32_t> slots = NeededSlots(dataset, Split::kTest);
+    for (RecommenderType type : recommenders) {
+      // Fit once per (dataset, recommender); only the sampling repeats.
+      auto recommender = CreateRecommender(type);
+      const RecommenderScores scores =
+          recommender->Fit(dataset).ValueOrDie();
+      const CandidateSets sets = BuildStaticSets(scores, dataset);
+      std::vector<std::string> row = {RecommenderTypeName(type)};
+      for (double fraction : fractions) {
+        const int64_t n_s = static_cast<int64_t>(
+            fraction * dataset.num_entities());
+        std::vector<double> mapes;
+        for (int rep = 0; rep < reps; ++rep) {
+          Rng rng(1000 + 31 * rep);
+          const SampledCandidates pools = DrawCandidates(
+              SamplingStrategy::kStatic, &sets, dataset.num_entities(), n_s,
+              slots, 2 * dataset.num_relations(), &rng);
+          SampledEvalOptions eval_options;
+          eval_options.max_triples = full_options.max_triples;
+          const double estimate =
+              EvaluateSampled(*model, dataset, filter, Split::kTest, pools,
+                              eval_options)
+                  .metrics.mrr;
+          mapes.push_back(100.0 * std::abs(estimate - truth) /
+                          std::max(truth, 1e-9));
+        }
+        row.push_back(StrFormat("%.1f+/-%.1f", Mean(mapes),
+                                NormalCi95HalfWidth(mapes)));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  bench::PrintNote(
+      "paper shape: all recommenders converge towards low MAPE as the "
+      "sample grows and behave similarly once they catch the hard "
+      "negatives; PT is the one that can fail to converge (it misses "
+      "unseen candidates); PIE buys no accuracy over L-WD");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 6 (a-c): filtered Hits@1 / Hits@3 / Hits@10 estimates
+// against the sample size on wikikg2, mirroring the Figure 3b sweep.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  const std::string preset =
+      args.only_dataset.empty() ? "wikikg2" : args.only_dataset;
+
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+  bench::TrainSpec spec;
+  spec.epochs = args.epochs > 0 ? args.epochs : (args.fast ? 2 : 6);
+  auto model = bench::TrainModel(dataset, spec);
+
+  const FullEvalResult full =
+      EvaluateFullRanking(*model, dataset, filter, Split::kTest);
+
+  const std::vector<double> fractions =
+      args.fast ? std::vector<double>{0.02, 0.1}
+                : std::vector<double>{0.005, 0.01, 0.02, 0.05, 0.1, 0.2};
+
+  const std::pair<MetricKind, const char*> panels[] = {
+      {MetricKind::kHits1, "Figure 6a: Hits@1 vs sample size"},
+      {MetricKind::kHits3, "Figure 6b: Hits@3 vs sample size"},
+      {MetricKind::kHits10, "Figure 6c: Hits@10 vs sample size"}};
+
+  // One sweep, all metrics recorded at once.
+  struct Row {
+    double fraction;
+    double values[3][4];  // [strategy][metric incl. placeholder]
+  };
+  std::vector<Row> rows;
+  for (double fraction : fractions) {
+    Row row;
+    row.fraction = fraction;
+    int s = 0;
+    for (SamplingStrategy strategy :
+         {SamplingStrategy::kProbabilistic, SamplingStrategy::kStatic,
+          SamplingStrategy::kRandom}) {
+      FrameworkOptions options;
+      options.strategy = strategy;
+      options.recommender = RecommenderType::kLwd;
+      options.sample_fraction = fraction;
+      auto framework =
+          EvaluationFramework::Build(&dataset, options).ValueOrDie();
+      const RankingMetrics m =
+          framework->Estimate(*model, filter, Split::kTest).metrics;
+      row.values[s][0] = m.hits1;
+      row.values[s][1] = m.hits3;
+      row.values[s][2] = m.hits10;
+      ++s;
+    }
+    rows.push_back(row);
+  }
+
+  int metric_index = 0;
+  for (const auto& [metric, title] : panels) {
+    bench::PrintHeader(StrFormat("%s (%s); true value %.4f", title,
+                                 preset.c_str(),
+                                 full.metrics.Get(metric)));
+    TextTable table({"Sample size (% of |E|)", "Probabilistic", "Static",
+                     "Random", "True"});
+    for (const Row& row : rows) {
+      table.AddRow({bench::F(100.0 * row.fraction, 1),
+                    bench::F(row.values[0][metric_index], 4),
+                    bench::F(row.values[1][metric_index], 4),
+                    bench::F(row.values[2][metric_index], 4),
+                    bench::F(full.metrics.Get(metric), 4)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    ++metric_index;
+  }
+  bench::PrintNote(
+      "paper shape: identical pattern to the filtered MRR — Random "
+      "saturates towards 1 at small samples, the guided strategies track "
+      "the true values");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table 2 (easy negatives mined with L-WD) and Table 10 (the
+// qualitative list of false easy negatives — test triples whose head or
+// tail the recommender ruled out with score exactly 0, which in the
+// synthetic data are the injected type-violating noise triples).
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_common.h"
+#include "recommenders/easy_negatives.h"
+#include "recommenders/recommender.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::vector<std::string> datasets = {"fb15k237", "yago310", "wikikg2"};
+  if (!args.only_dataset.empty()) datasets = {args.only_dataset};
+  if (args.fast) datasets = {"fb15k237"};
+
+  bench::PrintHeader("Table 2: easy negatives mined with L-WD");
+  TextTable table({"", "Easy negatives (%)", "Easy negatives",
+                   "False easy negatives"});
+  struct Kept {
+    std::string dataset;
+    EasyNegativeReport report;
+    SynthOutput synth;
+  };
+  std::vector<Kept> kept;
+  for (const std::string& name : datasets) {
+    SynthOutput synth = bench::LoadPreset(name, args);
+    auto recommender = CreateRecommender(RecommenderType::kLwd);
+    const RecommenderScores scores =
+        recommender->Fit(synth.dataset).ValueOrDie();
+    EasyNegativeReport report = MineEasyNegatives(scores, synth.dataset, 16);
+    table.AddRow({name, bench::F(100.0 * report.easy_fraction, 1),
+                  FormatWithCommas(report.easy_negatives),
+                  FormatWithCommas(report.false_easy)});
+    kept.push_back({name, std::move(report), std::move(synth)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "paper: 58.4% / 43.2% / 5.4% easy negatives with 4 / 0 / 35 false "
+      "ones; only a vanishing fraction of ruled-out cells ever contradicts "
+      "a test triple");
+
+  bench::PrintHeader("Table 10: false easy negatives produced by L-WD");
+  for (const Kept& k : kept) {
+    const Dataset& d = k.synth.dataset;
+    std::unordered_set<int64_t> noisy(k.synth.noisy_test_indices.begin(),
+                                      k.synth.noisy_test_indices.end());
+    std::printf("%s (%zu examples shown, %lld total; %zu noise triples "
+                "injected into test):\n",
+                k.dataset.c_str(), k.report.examples.size(),
+                static_cast<long long>(k.report.false_easy),
+                noisy.size());
+    for (const FalseEasyNegative& example : k.report.examples) {
+      const Triple& t = example.triple;
+      std::printf("  (%s, %s, %s)  [%s slot ruled out]\n",
+                  d.EntityLabel(t.head).c_str(),
+                  d.RelationLabel(t.relation).c_str(),
+                  d.EntityLabel(t.tail).c_str(),
+                  example.direction == QueryDirection::kHead ? "head"
+                                                             : "tail");
+    }
+  }
+  bench::PrintNote(
+      "as in the paper's Table 10, the contradicted triples are KG "
+      "construction noise (here: the generator's type-violating triples), "
+      "not recommender mistakes");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table 5: Candidate Recall (Test/Unseen), Reduction Rate and
+// fit runtime for every relation recommender, per dataset. Sets are the
+// Static (thresholded) candidate sets, with train-seen entities included —
+// the paper's "combining PT with each method" convention.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/candidate_sets.h"
+#include "recommenders/recommender.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::vector<std::string> datasets = {"fb15k237", "yago310", "wikikg2"};
+  if (!args.only_dataset.empty()) datasets = {args.only_dataset};
+  if (args.fast) datasets = {"fb15k237"};
+
+  const RecommenderType recommenders[] = {
+      RecommenderType::kPt,   RecommenderType::kDbhT,
+      RecommenderType::kOntoSim, RecommenderType::kPie,
+      RecommenderType::kLwd,  RecommenderType::kLwdT};
+
+  bench::PrintHeader(
+      "Table 5: Candidate Recall (Test/Unseen), Reduction Rate, runtime");
+  TextTable table({"Dataset", "Model", "CR (Test/Unseen)", "RR", "Runtime"});
+  for (const std::string& name : datasets) {
+    const SynthOutput synth = bench::LoadPreset(name, args);
+    const Dataset& dataset = synth.dataset;
+    table.AddSeparator();
+    for (RecommenderType type : recommenders) {
+      auto recommender = CreateRecommender(type);
+      auto fit = recommender->Fit(dataset);
+      if (!fit.ok()) {
+        table.AddRow({name, recommender->name(), "n/a", "n/a",
+                      fit.status().ToString()});
+        continue;
+      }
+      const RecommenderScores& scores = fit.ValueOrDie();
+      const CandidateSets sets = BuildStaticSets(scores, dataset);
+      const SetQuality quality = EvaluateSetQuality(sets, dataset);
+      table.AddRow({name, recommender->name(),
+                    StrFormat("%.3f/%.3f", quality.cr_test,
+                              quality.cr_unseen),
+                    bench::F(quality.rr, 3),
+                    StrFormat("%.2f sec", scores.fit_seconds)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(
+      "expected shape (paper): PT has CR-Unseen = 0 by construction; "
+      "OntoSim trades RR for near-perfect recall; L-WD matches or beats "
+      "PIE at a tiny fraction of the fit time; type-aware variants edge "
+      "out their type-free versions");
+  return 0;
+}

@@ -1,0 +1,310 @@
+// Reproduces the per-epoch estimator-quality experiments:
+//   Table 6  — MAE of the estimated filtered validation MRR (R / P / S)
+//   Table 7  — Pearson correlation with the filtered MRR for KP (R/P/S)
+//              and for the rank estimates (R/P/S)
+//   Table 8  — average Kendall-Tau of the per-epoch model ordering
+//   Tables 12-14 — correlations for Hits@3 / Hits@10 / Hits@1
+//   Table 15 — MAEs for the Hits@X estimates
+//
+// Per dataset, several KGC models are trained; after every epoch the true
+// filtered validation metrics are computed together with every estimator.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "kp/kp_metric.h"
+#include "stats/correlation.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace kgeval {
+namespace {
+
+constexpr MetricKind kMetrics[] = {MetricKind::kMrr, MetricKind::kHits1,
+                                   MetricKind::kHits3, MetricKind::kHits10};
+constexpr SamplingStrategy kStrategies[] = {SamplingStrategy::kRandom,
+                                            SamplingStrategy::kProbabilistic,
+                                            SamplingStrategy::kStatic};
+
+/// Per-epoch series for one (dataset, model) run.
+struct RunSeries {
+  std::string dataset;
+  std::string model;
+  // truth[metric] and estimate[strategy][metric] per epoch.
+  std::map<MetricKind, std::vector<double>> truth;
+  std::map<SamplingStrategy, std::map<MetricKind, std::vector<double>>>
+      estimate;
+  std::map<SamplingStrategy, std::vector<double>> kp;
+};
+
+struct DatasetPlan {
+  std::string name;
+  std::vector<ModelType> models;
+};
+
+}  // namespace
+}  // namespace kgeval
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+
+  // Model line-up follows the paper's Table 6 rows, trimmed to what runs in
+  // minutes at the scaled sizes (ConvE is the expensive one).
+  std::vector<DatasetPlan> plans = {
+      {"codex-s",
+       {ModelType::kTransE, ModelType::kRescal, ModelType::kComplEx,
+        ModelType::kConvE}},
+      {"codex-m",
+       {ModelType::kComplEx, ModelType::kDistMult, ModelType::kTransE}},
+      {"fb15k237",
+       {ModelType::kTransE, ModelType::kRotatE, ModelType::kDistMult,
+        ModelType::kComplEx}},
+  };
+  if (!args.only_dataset.empty()) {
+    std::vector<DatasetPlan> filtered;
+    for (const auto& plan : plans) {
+      if (plan.name == args.only_dataset) filtered.push_back(plan);
+    }
+    plans = filtered;
+  }
+  if (args.fast) {
+    plans = {{"codex-s", {ModelType::kTransE, ModelType::kComplEx}}};
+  }
+  const int32_t epochs =
+      args.epochs > 0 ? args.epochs : (args.fast ? 4 : 14);
+
+  std::vector<RunSeries> runs;
+  for (const DatasetPlan& plan : plans) {
+    const SynthOutput synth = bench::LoadPreset(plan.name, args);
+    const Dataset& dataset = synth.dataset;
+    const FilterIndex filter(dataset);
+
+    // One framework per strategy, shared across the models of the dataset
+    // (the framework is model-agnostic — that is the point).
+    std::map<SamplingStrategy, std::unique_ptr<EvaluationFramework>>
+        frameworks;
+    for (SamplingStrategy strategy : kStrategies) {
+      FrameworkOptions options;
+      options.strategy = strategy;
+      options.recommender = RecommenderType::kLwd;
+      options.sample_fraction = 0.1;  // The paper's n_s = 0.1 |E|.
+      options.seed = 29;
+      frameworks[strategy] =
+          EvaluationFramework::Build(&dataset, options).ValueOrDie();
+    }
+
+    for (ModelType type : plan.models) {
+      std::fprintf(stderr, "[table6-8] %s / %s ...\n", plan.name.c_str(),
+                   ModelTypeName(type));
+      RunSeries series;
+      series.dataset = plan.name;
+      series.model = ModelTypeName(type);
+
+      ModelOptions model_options;
+      model_options.dim = 32;
+      model_options.adam.learning_rate = 3e-3f;
+      model_options.seed = 13;
+      auto model = CreateModel(type, dataset.num_entities(),
+                               dataset.num_relations(), model_options)
+                       .ValueOrDie();
+      TrainerOptions trainer_options;
+      trainer_options.epochs = epochs;
+      trainer_options.negatives_per_positive = 8;
+      Trainer trainer(&dataset, trainer_options);
+
+      FullEvalOptions full_options;
+      full_options.max_triples = 2500;  // Bounds the ground-truth cost.
+
+      const Status status = trainer.Train(
+          model.get(), [&](int32_t, const KgeModel& m) {
+            const FullEvalResult truth = EvaluateFullRanking(
+                m, dataset, filter, Split::kValid, full_options);
+            for (MetricKind metric : kMetrics) {
+              series.truth[metric].push_back(truth.metrics.Get(metric));
+            }
+            for (SamplingStrategy strategy : kStrategies) {
+              // Reuse the shared framework; each call redraws fresh pools.
+              const SampledEvalResult estimate = frameworks[strategy]->Estimate(
+                  m, filter, Split::kValid, full_options.max_triples);
+              for (MetricKind metric : kMetrics) {
+                series.estimate[strategy][metric].push_back(
+                    estimate.metrics.Get(metric));
+              }
+              // KP with the matching negative pools (KP-R uses uniform).
+              KpOptions kp_options;
+              kp_options.num_samples = args.fast ? 400 : 1500;
+              const SampledCandidates* pools = nullptr;
+              SampledCandidates drawn;
+              Rng kp_rng(91);
+              if (strategy != SamplingStrategy::kRandom) {
+                drawn = DrawCandidates(
+                    strategy, &frameworks[strategy]->sets(),
+                    dataset.num_entities(),
+                    frameworks[strategy]->SampleSize(),
+                    NeededSlots(dataset, Split::kValid),
+                    2 * dataset.num_relations(), &kp_rng);
+                pools = &drawn;
+              }
+              series.kp[strategy].push_back(
+                  ComputeKp(m, dataset, Split::kValid, kp_options, pools)
+                      .score);
+            }
+          });
+      KGEVAL_CHECK(status.ok());
+      runs.push_back(std::move(series));
+    }
+  }
+
+  // ---- Table 6: MAE of the filtered validation MRR. -----------------------
+  bench::PrintHeader("Table 6: MAE of estimated filtered validation MRR");
+  {
+    TextTable table({"Dataset", "Model", "R", "P", "S"});
+    for (const RunSeries& run : runs) {
+      table.AddRow(
+          {run.dataset, run.model,
+           bench::F(MeanAbsoluteError(
+                        run.estimate.at(SamplingStrategy::kRandom)
+                            .at(MetricKind::kMrr),
+                        run.truth.at(MetricKind::kMrr)),
+                    3),
+           bench::F(MeanAbsoluteError(
+                        run.estimate.at(SamplingStrategy::kProbabilistic)
+                            .at(MetricKind::kMrr),
+                        run.truth.at(MetricKind::kMrr)),
+                    3),
+           bench::F(MeanAbsoluteError(
+                        run.estimate.at(SamplingStrategy::kStatic)
+                            .at(MetricKind::kMrr),
+                        run.truth.at(MetricKind::kMrr)),
+                    3)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    bench::PrintNote(
+        "paper shape: R is off by 0.1-0.3 absolute; P within ~0.01-0.1; S "
+        "tightest (0.001-0.05)");
+  }
+
+  // ---- Tables 7 / 12 / 13 / 14: correlations. ------------------------------
+  const std::pair<MetricKind, const char*> corr_tables[] = {
+      {MetricKind::kMrr, "Table 7: correlation with the filtered MRR"},
+      {MetricKind::kHits3, "Table 12: correlation with filtered Hits@3"},
+      {MetricKind::kHits10, "Table 13: correlation with filtered Hits@10"},
+      {MetricKind::kHits1, "Table 14: correlation with filtered Hits@1"}};
+  for (const auto& [metric, title] : corr_tables) {
+    bench::PrintHeader(title);
+    TextTable table({"Dataset", "Model", "KP R", "KP P", "KP S", "Rank R",
+                     "Rank P", "Rank S"});
+    for (const RunSeries& run : runs) {
+      const std::vector<double>& truth = run.truth.at(metric);
+      table.AddRow(
+          {run.dataset, run.model,
+           bench::F(PearsonCorrelation(
+                        run.kp.at(SamplingStrategy::kRandom), truth),
+                    3),
+           bench::F(PearsonCorrelation(
+                        run.kp.at(SamplingStrategy::kProbabilistic), truth),
+                    3),
+           bench::F(PearsonCorrelation(
+                        run.kp.at(SamplingStrategy::kStatic), truth),
+                    3),
+           bench::F(PearsonCorrelation(
+                        run.estimate.at(SamplingStrategy::kRandom).at(metric),
+                        truth),
+                    3),
+           bench::F(PearsonCorrelation(
+                        run.estimate.at(SamplingStrategy::kProbabilistic)
+                            .at(metric),
+                        truth),
+                    3),
+           bench::F(PearsonCorrelation(
+                        run.estimate.at(SamplingStrategy::kStatic).at(metric),
+                        truth),
+                    3)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  bench::PrintNote(
+      "paper shape: rank estimates correlate > 0.95 almost everywhere; KP "
+      "is unstable (sign flips across models/datasets)");
+
+  // ---- Table 15: MAE for Hits@X. -------------------------------------------
+  bench::PrintHeader("Table 15: MAE of estimated Hits@X");
+  {
+    TextTable table({"Dataset", "Model", "H@1 P", "H@1 R", "H@1 S", "H@3 P",
+                     "H@3 R", "H@3 S", "H@10 P", "H@10 R", "H@10 S"});
+    for (const RunSeries& run : runs) {
+      std::vector<std::string> row = {run.dataset, run.model};
+      for (MetricKind metric :
+           {MetricKind::kHits1, MetricKind::kHits3, MetricKind::kHits10}) {
+        for (SamplingStrategy strategy :
+             {SamplingStrategy::kProbabilistic, SamplingStrategy::kRandom,
+              SamplingStrategy::kStatic}) {
+          row.push_back(bench::F(
+              MeanAbsoluteError(run.estimate.at(strategy).at(metric),
+                                run.truth.at(metric)),
+              3));
+        }
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  // ---- Table 8: Kendall-Tau of the model ordering per epoch. ----------------
+  bench::PrintHeader(
+      "Table 8: average Kendall-Tau of per-epoch model ranking");
+  {
+    TextTable table({"Dataset", "KP R", "KP P", "KP S", "Rank R", "Rank P",
+                     "Rank S"});
+    for (const DatasetPlan& plan : plans) {
+      std::vector<const RunSeries*> members;
+      for (const RunSeries& run : runs) {
+        if (run.dataset == plan.name) members.push_back(&run);
+      }
+      if (members.size() < 3) continue;  // Tau needs >= 3 models.
+      const size_t num_epochs =
+          members[0]->truth.at(MetricKind::kMrr).size();
+      auto mean_tau = [&](auto getter) {
+        std::vector<double> taus;
+        for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+          std::vector<double> truth_vals, estimate_vals;
+          for (const RunSeries* run : members) {
+            truth_vals.push_back(
+                run->truth.at(MetricKind::kMrr)[epoch]);
+            estimate_vals.push_back(getter(*run, epoch));
+          }
+          taus.push_back(KendallTau(estimate_vals, truth_vals));
+        }
+        return Mean(taus);
+      };
+      std::vector<std::string> row = {plan.name};
+      for (SamplingStrategy strategy : kStrategies) {
+        row.push_back(bench::F(
+            mean_tau([strategy](const RunSeries& run, size_t epoch) {
+              return run.kp.at(strategy)[epoch];
+            }),
+            3));
+      }
+      for (SamplingStrategy strategy : kStrategies) {
+        row.push_back(bench::F(
+            mean_tau([strategy](const RunSeries& run, size_t epoch) {
+              return run.estimate.at(strategy).at(MetricKind::kMrr)[epoch];
+            }),
+            3));
+      }
+      // Reorder: the header lists KP R/P/S then Rank R/P/S; kStrategies is
+      // R, P, S already.
+      table.AddRow(row);
+    }
+    std::printf("%s", table.ToString().c_str());
+    bench::PrintNote(
+        "paper shape: Static sampling preserves the model ordering best "
+        "(tau ~0.9+), Random trails due to estimate variance, KP is weak");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Hard-negative training: the Section 7 future-work experiment — use the
+// relation recommender's candidate sets as the *training* negative sampler
+// and compare against plain uniform corruption at an equal negative budget.
+//
+// Usage: hard_negative_training [preset] [epochs] [guided_rate]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/framework.h"
+#include "core/guided_negatives.h"
+#include "eval/full_evaluator.h"
+#include "models/trainer.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const std::string preset = argc > 1 ? argv[1] : "codex-m";
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 25;
+  const double guided_rate = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+  SynthConfig config = GetPreset(preset, PresetScale::kScaled).ValueOrDie();
+  const SynthOutput synth = GenerateDataset(config).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+
+  auto recommender = CreateRecommender(RecommenderType::kLwd);
+  const RecommenderScores scores = recommender->Fit(dataset).ValueOrDie();
+  const CandidateSets sets = BuildProbabilisticSets(scores, dataset);
+
+  auto run = [&](bool guided) {
+    ModelOptions model_options;
+    model_options.dim = 32;
+    model_options.adam.learning_rate = 3e-3f;
+    auto model = CreateModel(ModelType::kComplEx, dataset.num_entities(),
+                             dataset.num_relations(), model_options)
+                     .ValueOrDie();
+    TrainerOptions trainer_options;
+    trainer_options.epochs = epochs;
+    trainer_options.negatives_per_positive = 8;
+    if (guided) {
+      trainer_options.negative_sampler =
+          MakeGuidedNegativeSampler(&sets, guided_rate);
+    }
+    Trainer trainer(&dataset, trainer_options);
+    (void)trainer.Train(model.get());
+    return EvaluateFullRanking(*model, dataset, filter, Split::kTest)
+        .metrics;
+  };
+
+  std::printf("dataset %s, ComplEx, %d epochs, 8 negatives/positive\n\n",
+              preset.c_str(), epochs);
+  const RankingMetrics uniform = run(/*guided=*/false);
+  std::printf("uniform negatives : %s\n", uniform.ToString().c_str());
+  const RankingMetrics guided = run(/*guided=*/true);
+  std::printf("guided  negatives : %s  (guided_rate=%.2f)\n",
+              guided.ToString().c_str(), guided_rate);
+  std::printf(
+      "\nreading: guided corruption spends the same negative budget on "
+      "type- and cluster-plausible candidates. Whether that helps depends "
+      "on the regime — hard negatives sharpen within-pool discrimination "
+      "but raise the false-negative rate (plausible corruptions are "
+      "sometimes true), so expect gains mainly at low guided rates and on "
+      "graphs where the uniform negatives are overwhelmingly easy. That "
+      "open trade-off is exactly why the paper leaves it as future work; "
+      "sweep guided_rate to map it.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// KG quality audit: uses the TripleClassifier (the near-closed-world screen
+// built from L-WD's zero scores — the paper's Section 7 triplet-classifier
+// suggestion) to hunt for corrupted facts in a noisy KG, and scores the
+// screen against the generator's ground-truth noise flags.
+//
+// Usage: kg_quality_audit [preset] [noise_rate]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+
+#include "core/triple_classifier.h"
+#include "recommenders/recommender.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  // Larger presets give L-WD a sparser co-occurrence graph and therefore a
+  // sharper screen (small KGs with heavy noise are fully bridged).
+  const std::string preset = argc > 1 ? argv[1] : "codex-l";
+  const double noise_rate = argc > 2 ? std::atof(argv[2]) : 0.005;
+
+  SynthConfig config = GetPreset(preset, PresetScale::kScaled).ValueOrDie();
+  config.noise_rate = noise_rate;
+  const SynthOutput synth = GenerateDataset(config).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+  std::printf("dataset %s with %.1f%% injected noise; %zu noisy test "
+              "triples\n\n",
+              preset.c_str(), 100.0 * noise_rate,
+              synth.noisy_test_indices.size());
+
+  auto recommender = CreateRecommender(RecommenderType::kLwd);
+  const RecommenderScores scores = recommender->Fit(dataset).ValueOrDie();
+  const TripleClassifier classifier(&scores);
+
+  const std::unordered_set<int64_t> noisy(synth.noisy_test_indices.begin(),
+                                          synth.noisy_test_indices.end());
+  int64_t flagged = 0, flagged_noisy = 0, flagged_clean = 0;
+  for (size_t i = 0; i < dataset.test().size(); ++i) {
+    const Triple& t = dataset.test()[i];
+    const TripleVerdict verdict = classifier.Classify(t);
+    if (verdict == TripleVerdict::kPlausible) continue;
+    ++flagged;
+    const bool is_noise = noisy.count(static_cast<int64_t>(i)) > 0;
+    if (is_noise) {
+      ++flagged_noisy;
+    } else {
+      ++flagged_clean;
+    }
+    if (flagged <= 12) {
+      std::printf("  %-18s (%s, %s, %s)%s\n", TripleVerdictName(verdict),
+                  dataset.EntityLabel(t.head).c_str(),
+                  dataset.RelationLabel(t.relation).c_str(),
+                  dataset.EntityLabel(t.tail).c_str(),
+                  is_noise ? "  [injected noise]" : "  [clean]");
+    }
+  }
+  const double precision =
+      flagged > 0 ? static_cast<double>(flagged_noisy) /
+                        static_cast<double>(flagged)
+                  : 0.0;
+  const double recall =
+      noisy.empty() ? 0.0
+                    : static_cast<double>(flagged_noisy) /
+                          static_cast<double>(noisy.size());
+  std::printf(
+      "\nscreen results on the test split:\n"
+      "  flagged %lld triples (%lld injected noise, %lld clean)\n"
+      "  precision vs ground-truth noise: %.3f\n"
+      "  recall of injected noise:        %.3f\n",
+      static_cast<long long>(flagged),
+      static_cast<long long>(flagged_noisy),
+      static_cast<long long>(flagged_clean), precision, recall);
+  std::printf(
+      "\nreading: recall is bounded by how far a noise triple strays from "
+      "the type structure — corruptions that land inside a compatible slot "
+      "are invisible to a structural screen (and to the paper's Table 10).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Training monitor: the framework's practical use case from the paper's
+// intro — watch a model's validation MRR during training (and early-stop)
+// without ever paying for a full ranking, then verify the final number with
+// one exact evaluation at the end.
+//
+// Usage: training_monitor [preset] [max_epochs] [patience]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/framework.h"
+#include "eval/full_evaluator.h"
+#include "models/trainer.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const std::string preset = argc > 1 ? argv[1] : "codex-m";
+  const int max_epochs = argc > 2 ? std::atoi(argv[2]) : 30;
+  const int patience = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  SynthConfig config = GetPreset(preset, PresetScale::kScaled).ValueOrDie();
+  SynthOutput synth = GenerateDataset(config).ValueOrDie();
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+
+  FrameworkOptions fw_options;
+  fw_options.recommender = RecommenderType::kLwd;
+  fw_options.strategy = SamplingStrategy::kStatic;
+  fw_options.sample_fraction = 0.1;
+  auto framework =
+      EvaluationFramework::Build(&dataset, fw_options).ValueOrDie();
+  std::printf("framework ready in %.3fs (recommender fit + candidate sets)\n",
+              framework->build_seconds());
+
+  ModelOptions model_options;
+  model_options.dim = 32;
+  model_options.adam.learning_rate = 3e-3f;
+  auto model = CreateModel(ModelType::kComplEx, dataset.num_entities(),
+                           dataset.num_relations(), model_options)
+                   .ValueOrDie();
+  TrainerOptions trainer_options;
+  trainer_options.epochs = 1;  // Driven manually below.
+  trainer_options.negatives_per_positive = 8;
+  Trainer trainer(&dataset, trainer_options);
+
+  double best_estimate = -1.0;
+  int epochs_since_best = 0;
+  double total_estimate_seconds = 0.0;
+  int epoch = 0;
+  for (; epoch < max_epochs; ++epoch) {
+    const double loss = trainer.TrainEpoch(model.get(), epoch);
+    WallTimer timer;
+    const double estimate =
+        framework->Estimate(*model, filter, Split::kValid).metrics.mrr;
+    total_estimate_seconds += timer.Seconds();
+    std::printf("epoch %2d  loss %.4f  est. valid MRR %.4f%s\n", epoch, loss,
+                estimate, estimate > best_estimate ? "  (best)" : "");
+    if (estimate > best_estimate) {
+      best_estimate = estimate;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= patience) {
+      std::printf("early stop: no improvement for %d epochs\n", patience);
+      break;
+    }
+  }
+
+  WallTimer full_timer;
+  const double exact =
+      EvaluateFullRanking(*model, dataset, filter, Split::kValid)
+          .metrics.mrr;
+  const double full_seconds = full_timer.Seconds();
+  std::printf(
+      "\nfinal exact valid MRR %.4f (last estimate %.4f)\n"
+      "monitoring cost: %.3fs total for %d estimates vs %.3fs for ONE full "
+      "evaluation\n",
+      exact, best_estimate, total_estimate_seconds, epoch + 1, full_seconds);
+  return 0;
+}

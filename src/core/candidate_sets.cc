@@ -1,0 +1,271 @@
+#include "core/candidate_sets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace kgeval {
+namespace {
+
+struct U64Hash {
+  size_t operator()(uint64_t key) const {
+    key ^= key >> 33;
+    key *= 0xFF51AFD7ED558CCDULL;
+    key ^= key >> 33;
+    return static_cast<size_t>(key);
+  }
+};
+
+/// Sorted union of a sorted set with another sorted set.
+std::vector<int32_t> SortedUnion(const std::vector<int32_t>& a,
+                                 const std::vector<int32_t>& b) {
+  std::vector<int32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Validation entities observed per slot (deduplicated).
+std::vector<std::vector<int32_t>> ValidEntitiesPerSlot(
+    const Dataset& dataset) {
+  const int32_t num_r = dataset.num_relations();
+  std::vector<std::vector<int32_t>> out(2 * num_r);
+  for (const Triple& t : dataset.valid()) {
+    out[t.relation].push_back(t.head);
+    out[t.relation + num_r].push_back(t.tail);
+  }
+  for (auto& v : out) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+double CandidateSets::MacroReductionRate() const {
+  if (sets.empty() || num_entities == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : sets) {
+    acc += 1.0 - static_cast<double>(s.size()) /
+                     static_cast<double>(num_entities);
+  }
+  return acc / static_cast<double>(sets.size());
+}
+
+CandidateSets BuildStaticSets(const RecommenderScores& scores,
+                              const Dataset& dataset,
+                              const StaticSetOptions& options) {
+  const int32_t num_r = dataset.num_relations();
+  const int32_t num_slots = 2 * num_r;
+  const int32_t num_e = dataset.num_entities();
+  const CsrMatrix& by_set = scores.by_set;
+  KGEVAL_CHECK_EQ(by_set.rows(), num_slots);
+
+  const ObservedSets seen(dataset, {Split::kTrain});
+  const auto valid_per_slot = ValidEntitiesPerSlot(dataset);
+
+  CandidateSets out;
+  out.sets.resize(num_slots);
+  out.thresholds.assign(num_slots, 0.0f);
+  out.num_entities = num_e;
+
+  for (int32_t slot = 0; slot < num_slots; ++slot) {
+    const int64_t begin = by_set.RowBegin(slot);
+    const int64_t end = by_set.RowEnd(slot);
+    const int64_t nnz = end - begin;
+    // Collect the column's (score, entity) entries sorted by score desc.
+    std::vector<std::pair<float, int32_t>> entries;
+    entries.reserve(nnz);
+    for (int64_t k = begin; k < end; ++k) {
+      if (by_set.values()[k] > 0.0f) {
+        entries.emplace_back(by_set.values()[k], by_set.col_idx()[k]);
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    const std::vector<int32_t>& seen_set = seen.Set(slot);
+    const std::vector<int32_t>& valid_entities = valid_per_slot[slot];
+
+    // Candidate thresholds: a quantile grid over the distinct scores.
+    std::vector<float> grid;
+    if (!entries.empty()) {
+      const int32_t steps = std::max(1, options.threshold_grid);
+      for (int32_t g = 0; g < steps; ++g) {
+        const size_t idx = static_cast<size_t>(
+            (static_cast<double>(g) / steps) * (entries.size() - 1));
+        grid.push_back(entries[idx].first);
+      }
+      grid.push_back(entries.back().first);  // Keep-everything threshold.
+      std::sort(grid.begin(), grid.end(), std::greater<float>());
+      grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+    } else {
+      grid.push_back(0.0f);
+    }
+
+    // Precompute how many seen entities sit at each score level so the
+    // union size |{score >= tau} ∪ seen| is O(1) per threshold.
+    std::vector<float> seen_scores;
+    seen_scores.reserve(seen_set.size());
+    for (int32_t e : seen_set) {
+      seen_scores.push_back(scores.scores.At(e, slot));
+    }
+    std::sort(seen_scores.begin(), seen_scores.end(),
+              std::greater<float>());
+    std::vector<float> valid_scores;
+    std::vector<bool> valid_seen;
+    for (int32_t e : valid_entities) {
+      valid_scores.push_back(scores.scores.At(e, slot));
+      valid_seen.push_back(options.include_seen &&
+                           std::binary_search(seen_set.begin(),
+                                              seen_set.end(), e));
+    }
+
+    float best_tau = entries.empty() ? 0.0f : entries.back().first;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (float tau : grid) {
+      // |{score >= tau}| via the sorted entries.
+      const auto geq = static_cast<int64_t>(
+          std::lower_bound(entries.begin(), entries.end(), tau,
+                           [](const auto& entry, float value) {
+                             return entry.first >= value;
+                           }) -
+          entries.begin());
+      int64_t set_size = geq;
+      if (options.include_seen) {
+        // Seen entities strictly below the threshold get added back (the
+        // ones at or above it are already counted in `geq`).
+        const auto seen_below = static_cast<int64_t>(
+            seen_scores.end() -
+            std::upper_bound(seen_scores.begin(), seen_scores.end(), tau,
+                             std::greater<float>()));
+        set_size += seen_below;
+      }
+      double covered = 0.0;
+      for (size_t i = 0; i < valid_scores.size(); ++i) {
+        if (valid_seen[i] || valid_scores[i] >= tau) covered += 1.0;
+      }
+      const double cr = valid_scores.empty()
+                            ? 1.0
+                            : covered / static_cast<double>(
+                                            valid_scores.size());
+      const double rr =
+          1.0 - static_cast<double>(set_size) / static_cast<double>(num_e);
+      const double dist = (1.0 - cr) * (1.0 - cr) + (1.0 - rr) * (1.0 - rr);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_tau = tau;
+      }
+    }
+
+    std::vector<int32_t> members;
+    for (const auto& [score, entity] : entries) {
+      if (score >= best_tau) members.push_back(entity);
+    }
+    std::sort(members.begin(), members.end());
+    if (options.include_seen) {
+      members = SortedUnion(members, seen_set);
+    }
+    out.sets[slot] = std::move(members);
+    out.thresholds[slot] = best_tau;
+  }
+  return out;
+}
+
+CandidateSets BuildProbabilisticSets(const RecommenderScores& scores,
+                                     const Dataset& dataset,
+                                     bool include_seen) {
+  const int32_t num_r = dataset.num_relations();
+  const int32_t num_slots = 2 * num_r;
+  const CsrMatrix& by_set = scores.by_set;
+  KGEVAL_CHECK_EQ(by_set.rows(), num_slots);
+
+  const ObservedSets seen(dataset, {Split::kTrain});
+
+  CandidateSets out;
+  out.sets.resize(num_slots);
+  out.weights.resize(num_slots);
+  out.num_entities = dataset.num_entities();
+  for (int32_t slot = 0; slot < num_slots; ++slot) {
+    std::vector<int32_t> members;
+    std::vector<float> weights;
+    float min_positive = std::numeric_limits<float>::infinity();
+    for (int64_t k = by_set.RowBegin(slot); k < by_set.RowEnd(slot); ++k) {
+      const float v = by_set.values()[k];
+      if (v <= 0.0f) continue;
+      members.push_back(by_set.col_idx()[k]);
+      weights.push_back(v);
+      min_positive = std::min(min_positive, v);
+    }
+    if (include_seen) {
+      // Entities only known from train keep at least the smallest positive
+      // weight so they can always be drawn.
+      const float floor_weight =
+          std::isfinite(min_positive) ? min_positive : 1.0f;
+      for (int32_t e : seen.Set(slot)) {
+        const auto it =
+            std::lower_bound(members.begin(), members.end(), e);
+        if (it != members.end() && *it == e) {
+          auto& w = weights[static_cast<size_t>(it - members.begin())];
+          w = std::max(w, floor_weight);
+        } else {
+          const size_t pos = static_cast<size_t>(it - members.begin());
+          members.insert(it, e);
+          weights.insert(weights.begin() + pos, floor_weight);
+        }
+      }
+    }
+    out.sets[slot] = std::move(members);
+    out.weights[slot] = std::move(weights);
+  }
+  return out;
+}
+
+SetQuality EvaluateSetQuality(const CandidateSets& sets,
+                              const Dataset& dataset) {
+  const int32_t num_r = dataset.num_relations();
+  const ObservedSets seen(dataset, {Split::kTrain, Split::kValid});
+
+  SetQuality q;
+  std::unordered_set<uint64_t, U64Hash> visited;
+  double rr_acc = 0.0;
+  for (const Triple& t : dataset.test()) {
+    const std::pair<int32_t, int32_t> slot_pairs[2] = {
+        {t.relation, t.head},           // Domain slot.
+        {t.relation + num_r, t.tail}};  // Range slot.
+    for (const auto& [slot, entity] : slot_pairs) {
+      if (!visited.insert(PackPair(slot, entity)).second) continue;
+      const auto& members = sets.sets[slot];
+      const bool covered =
+          std::binary_search(members.begin(), members.end(), entity);
+      const bool was_seen = slot < num_r
+                                ? seen.InDomain(slot, entity)
+                                : seen.InRange(slot - num_r, entity);
+      ++q.total_pairs;
+      if (covered) ++q.covered_pairs;
+      if (!was_seen) {
+        ++q.total_unseen;
+        if (covered) ++q.covered_unseen;
+      }
+      rr_acc += 1.0 - static_cast<double>(members.size()) /
+                          static_cast<double>(sets.num_entities);
+    }
+  }
+  q.cr_test = q.total_pairs > 0 ? static_cast<double>(q.covered_pairs) /
+                                      static_cast<double>(q.total_pairs)
+                                : 0.0;
+  q.cr_unseen = q.total_unseen > 0
+                    ? static_cast<double>(q.covered_unseen) /
+                          static_cast<double>(q.total_unseen)
+                    : 0.0;
+  q.rr = q.total_pairs > 0 ? rr_acc / static_cast<double>(q.total_pairs)
+                           : 0.0;
+  q.rr_macro = sets.MacroReductionRate();
+  return q;
+}
+
+}  // namespace kgeval

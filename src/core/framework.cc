@@ -1,0 +1,68 @@
+#include "core/framework.h"
+
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace kgeval {
+
+EvaluationFramework::EvaluationFramework(const Dataset* dataset,
+                                         FrameworkOptions options)
+    : dataset_(dataset), options_(options), rng_(options.seed) {}
+
+Result<std::unique_ptr<EvaluationFramework>> EvaluationFramework::Build(
+    const Dataset* dataset, const FrameworkOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset is null");
+  }
+  if (options.sample_fraction <= 0.0 && options.sample_size <= 0) {
+    return Status::InvalidArgument("sample fraction/size must be positive");
+  }
+  std::unique_ptr<EvaluationFramework> fw(
+      new EvaluationFramework(dataset, options));
+  WallTimer timer;
+  if (options.strategy != SamplingStrategy::kRandom) {
+    auto recommender = CreateRecommender(options.recommender, options.seed);
+    if (recommender == nullptr) {
+      return Status::InvalidArgument("unknown recommender");
+    }
+    auto scores = recommender->Fit(*dataset);
+    if (!scores.ok()) return scores.status();
+    fw->scores_ = std::move(scores).ValueOrDie();
+    if (options.strategy == SamplingStrategy::kStatic) {
+      StaticSetOptions static_options = options.static_options;
+      static_options.include_seen = options.include_seen;
+      fw->sets_ = BuildStaticSets(fw->scores_, *dataset, static_options);
+    } else {
+      fw->sets_ = BuildProbabilisticSets(fw->scores_, *dataset,
+                                         options.include_seen);
+    }
+  }
+  fw->build_seconds_ = timer.Seconds();
+  return {std::move(fw)};
+}
+
+int64_t EvaluationFramework::SampleSize() const {
+  if (options_.sample_size > 0) return options_.sample_size;
+  return static_cast<int64_t>(std::llround(
+      options_.sample_fraction * dataset_->num_entities()));
+}
+
+SampledEvalResult EvaluationFramework::Estimate(const KgeModel& model,
+                                                const FilterIndex& filter,
+                                                Split split,
+                                                int64_t max_triples) {
+  const std::vector<int32_t> slots = NeededSlots(*dataset_, split);
+  const CandidateSets* sets =
+      options_.strategy == SamplingStrategy::kRandom ? nullptr : &sets_;
+  SampledCandidates pools = DrawCandidates(
+      options_.strategy, sets, dataset_->num_entities(), SampleSize(), slots,
+      2 * dataset_->num_relations(), &rng_);
+  SampledEvalOptions eval_options;
+  eval_options.tie = options_.tie;
+  eval_options.max_triples = max_triples;
+  return EvaluateSampled(model, *dataset_, filter, split, pools,
+                         eval_options);
+}
+
+}  // namespace kgeval

@@ -1,0 +1,68 @@
+#ifndef KGEVAL_CORE_FRAMEWORK_H_
+#define KGEVAL_CORE_FRAMEWORK_H_
+
+#include <memory>
+
+#include "core/candidate_sets.h"
+#include "core/sampled_evaluator.h"
+#include "core/samplers.h"
+#include "recommenders/recommender.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// Configuration of the end-to-end evaluation framework (Figure 1 B):
+/// which relation recommender guides the sampling, which sampling strategy
+/// draws the pools, and how many candidates to draw per slot.
+struct FrameworkOptions {
+  RecommenderType recommender = RecommenderType::kLwd;
+  SamplingStrategy strategy = SamplingStrategy::kProbabilistic;
+  /// n_s = sample_fraction * |E| unless sample_size overrides it.
+  double sample_fraction = 0.1;
+  int64_t sample_size = 0;
+  bool include_seen = true;
+  StaticSetOptions static_options;
+  TieBreak tie = TieBreak::kMean;
+  uint64_t seed = 33;
+};
+
+/// The paper's contribution as a reusable object: fit a relation
+/// recommender once, derive candidate sets once, then estimate the filtered
+/// ranking metrics of *any* KGC model in a fraction of the full-ranking
+/// cost. Each Estimate() call redraws fresh pools (2|R| samplings).
+class EvaluationFramework {
+ public:
+  /// Fits the recommender on dataset.train() and prepares the candidate
+  /// sets. The dataset must outlive the framework.
+  static Result<std::unique_ptr<EvaluationFramework>> Build(
+      const Dataset* dataset, const FrameworkOptions& options);
+
+  /// Estimates the filtered metrics of `model` on `split`. `max_triples`
+  /// (0 = all) evaluates only the split's deterministic prefix, matching
+  /// FullEvalOptions::max_triples for apples-to-apples comparisons.
+  SampledEvalResult Estimate(const KgeModel& model, const FilterIndex& filter,
+                             Split split, int64_t max_triples = 0);
+
+  /// Resolved per-slot sample count n_s.
+  int64_t SampleSize() const;
+
+  const FrameworkOptions& options() const { return options_; }
+  const RecommenderScores& scores() const { return scores_; }
+  const CandidateSets& sets() const { return sets_; }
+  /// Recommender fit time plus candidate-set construction time.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  EvaluationFramework(const Dataset* dataset, FrameworkOptions options);
+
+  const Dataset* dataset_;
+  FrameworkOptions options_;
+  RecommenderScores scores_;
+  CandidateSets sets_;
+  double build_seconds_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_CORE_FRAMEWORK_H_

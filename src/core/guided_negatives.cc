@@ -1,0 +1,33 @@
+#include "core/guided_negatives.h"
+
+#include "util/logging.h"
+
+namespace kgeval {
+
+NegativeSamplerFn MakeGuidedNegativeSampler(const CandidateSets* sets,
+                                            double guided_rate) {
+  KGEVAL_CHECK(sets != nullptr);
+  KGEVAL_CHECK(guided_rate >= 0.0 && guided_rate <= 1.0);
+  const int32_t num_r = sets->num_slots() / 2;
+  return [sets, guided_rate, num_r](int32_t relation,
+                                    QueryDirection direction,
+                                    Rng* rng) -> int32_t {
+    if (rng->NextDouble() >= guided_rate) return -1;  // Uniform fallback.
+    const int32_t slot = DomainRangeIndex(relation, direction, num_r);
+    const std::vector<int32_t>& members = sets->sets[slot];
+    if (members.empty()) return -1;
+    if (slot < static_cast<int32_t>(sets->weights.size()) &&
+        !sets->weights[slot].empty()) {
+      // Weighted draw via inverse-CDF on a per-call prefix walk would be
+      // O(n); a cheap alternative with the right bias: pick two uniformly,
+      // keep the higher-scored one (tournament selection).
+      const std::vector<float>& weights = sets->weights[slot];
+      const size_t a = rng->NextBounded(members.size());
+      const size_t b = rng->NextBounded(members.size());
+      return weights[a] >= weights[b] ? members[a] : members[b];
+    }
+    return members[rng->NextBounded(members.size())];
+  };
+}
+
+}  // namespace kgeval

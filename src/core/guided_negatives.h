@@ -1,0 +1,25 @@
+#ifndef KGEVAL_CORE_GUIDED_NEGATIVES_H_
+#define KGEVAL_CORE_GUIDED_NEGATIVES_H_
+
+#include "core/candidate_sets.h"
+#include "models/trainer.h"
+
+namespace kgeval {
+
+/// Builds a training-time negative sampler from relation-recommender
+/// candidate sets — the Section 7 future-work extension ("relation
+/// recommenders as negative sample probabilities during training").
+///
+/// With probability `guided_rate` the corruption is drawn from the
+/// corrupted slot's candidate set (weighted by the recommender scores when
+/// the sets carry weights, uniformly otherwise), producing *hard* negatives;
+/// the remainder falls back to the trainer's uniform draw (return -1).
+///
+/// The returned closure holds a reference to `sets`: it must outlive the
+/// training run.
+NegativeSamplerFn MakeGuidedNegativeSampler(const CandidateSets* sets,
+                                            double guided_rate);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_CORE_GUIDED_NEGATIVES_H_

@@ -1,0 +1,71 @@
+#include "core/sampled_evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace kgeval {
+
+SampledEvalResult EvaluateSampled(const KgeModel& model,
+                                  const Dataset& dataset,
+                                  const FilterIndex& filter, Split split,
+                                  const SampledCandidates& candidates,
+                                  const SampledEvalOptions& options) {
+  WallTimer timer;
+  const std::vector<Triple>& triples = dataset.split(split);
+  int64_t num_triples = static_cast<int64_t>(triples.size());
+  if (options.max_triples > 0) {
+    num_triples = std::min(num_triples, options.max_triples);
+  }
+  const int32_t num_r = dataset.num_relations();
+
+  SampledEvalResult result;
+  result.sample_seconds = candidates.sample_seconds;
+  result.ranks.assign(static_cast<size_t>(num_triples) * 2, 0.0);
+  std::atomic<int64_t> scored{0};
+
+  ParallelFor(
+      0, static_cast<size_t>(num_triples),
+      [&](size_t lo, size_t hi) {
+        std::vector<float> scores;
+        int64_t local_scored = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          const Triple& triple = triples[i];
+          for (QueryDirection dir :
+               {QueryDirection::kTail, QueryDirection::kHead}) {
+            const bool tail_dir = dir == QueryDirection::kTail;
+            const int32_t anchor = tail_dir ? triple.head : triple.tail;
+            const int32_t truth = tail_dir ? triple.tail : triple.head;
+            const int32_t slot =
+                tail_dir ? triple.relation + num_r : triple.relation;
+            const std::vector<int32_t>& pool = candidates.pools[slot];
+            scores.resize(pool.size() + 1);
+            // Score the pool plus the true answer in one model call.
+            model.ScoreCandidates(anchor, triple.relation, dir, pool.data(),
+                                  pool.size(), scores.data());
+            model.ScoreCandidates(anchor, triple.relation, dir, &truth, 1,
+                                  scores.data() + pool.size());
+            local_scored += static_cast<int64_t>(pool.size()) + 1;
+            const std::vector<int32_t>* answers =
+                filter.AnswersFor(triple, dir);
+            KGEVAL_CHECK(answers != nullptr);
+            const double rank = FilteredRank(
+                pool.data(), scores.data(), pool.size(), truth,
+                scores[pool.size()], *answers, options.tie);
+            result.ranks[i * 2 + (tail_dir ? 0 : 1)] = rank;
+          }
+        }
+        scored.fetch_add(local_scored, std::memory_order_relaxed);
+      },
+      /*min_chunk=*/8);
+
+  result.scored_candidates = scored.load();
+  result.metrics = RankingMetrics::FromRanks(result.ranks);
+  result.eval_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace kgeval

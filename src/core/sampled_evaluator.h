@@ -1,0 +1,42 @@
+#ifndef KGEVAL_CORE_SAMPLED_EVALUATOR_H_
+#define KGEVAL_CORE_SAMPLED_EVALUATOR_H_
+
+#include "core/samplers.h"
+#include "eval/full_evaluator.h"
+#include "eval/metrics.h"
+#include "graph/dataset.h"
+#include "models/kge_model.h"
+
+namespace kgeval {
+
+/// Options for a sampled evaluation pass.
+struct SampledEvalOptions {
+  TieBreak tie = TieBreak::kMean;
+  /// Cap on evaluated triples (0 = all); deterministic prefix of the split.
+  int64_t max_triples = 0;
+};
+
+/// Result of estimating the ranking metrics from sampled candidate pools.
+struct SampledEvalResult {
+  RankingMetrics metrics;
+  /// Per-query estimated ranks (tail query, then head query, per triple).
+  std::vector<double> ranks;
+  double eval_seconds = 0.0;    // Scoring + ranking time.
+  double sample_seconds = 0.0;  // Copied from the SampledCandidates.
+  int64_t scored_candidates = 0;
+};
+
+/// Ranks each test query's true answer against its slot's sampled pool
+/// (filtered; the true answer is always included). The estimated metrics
+/// aggregate these pool-ranks directly — no rescaling — which is exactly why
+/// uniform Random pools are optimistic and recommender-guided pools are not
+/// (Section 4).
+SampledEvalResult EvaluateSampled(const KgeModel& model,
+                                  const Dataset& dataset,
+                                  const FilterIndex& filter, Split split,
+                                  const SampledCandidates& candidates,
+                                  const SampledEvalOptions& options = {});
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_CORE_SAMPLED_EVALUATOR_H_

@@ -1,0 +1,51 @@
+#include "core/triple_classifier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kgeval {
+
+const char* TripleVerdictName(TripleVerdict verdict) {
+  switch (verdict) {
+    case TripleVerdict::kPlausible:
+      return "plausible";
+    case TripleVerdict::kHeadImplausible:
+      return "head-implausible";
+    case TripleVerdict::kTailImplausible:
+      return "tail-implausible";
+    case TripleVerdict::kBothImplausible:
+      return "both-implausible";
+  }
+  return "?";
+}
+
+TripleClassifier::TripleClassifier(const RecommenderScores* scores)
+    : scores_(scores) {
+  KGEVAL_CHECK(scores_ != nullptr);
+  num_relations_ = scores_->num_relations();
+}
+
+TripleVerdict TripleClassifier::Classify(const Triple& triple) const {
+  const bool head_ok =
+      scores_->scores.At(triple.head, triple.relation) > 0.0f;
+  const bool tail_ok =
+      scores_->scores.At(triple.tail, triple.relation + num_relations_) >
+      0.0f;
+  if (head_ok && tail_ok) return TripleVerdict::kPlausible;
+  if (!head_ok && !tail_ok) return TripleVerdict::kBothImplausible;
+  return head_ok ? TripleVerdict::kTailImplausible
+                 : TripleVerdict::kHeadImplausible;
+}
+
+bool TripleClassifier::IsPlausible(const Triple& triple) const {
+  return Classify(triple) == TripleVerdict::kPlausible;
+}
+
+float TripleClassifier::Margin(const Triple& triple) const {
+  return std::min(
+      scores_->scores.At(triple.head, triple.relation),
+      scores_->scores.At(triple.tail, triple.relation + num_relations_));
+}
+
+}  // namespace kgeval

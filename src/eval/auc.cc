@@ -1,0 +1,119 @@
+#include "eval/auc.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kgeval {
+
+AucResult ComputeAuc(const std::vector<float>& positive_scores,
+                     const std::vector<float>& negative_scores) {
+  AucResult result;
+  result.num_positives = static_cast<int64_t>(positive_scores.size());
+  result.num_negatives = static_cast<int64_t>(negative_scores.size());
+  if (positive_scores.empty() || negative_scores.empty()) return result;
+
+  // Merge-sort based ROC-AUC: P(pos > neg) + 0.5 P(pos == neg), computed
+  // by walking both sorted arrays once — O((P+N) log(P+N)).
+  std::vector<float> pos = positive_scores;
+  std::vector<float> neg = negative_scores;
+  std::sort(pos.begin(), pos.end());
+  std::sort(neg.begin(), neg.end());
+  double wins = 0.0;
+  size_t below = 0;   // Negatives strictly below the current positive.
+  size_t equal = 0;   // Negatives equal to the current positive's score.
+  size_t cursor = 0;
+  for (float p : pos) {
+    while (cursor < neg.size() && neg[cursor] < p) {
+      ++cursor;
+    }
+    below = cursor;
+    size_t eq_cursor = cursor;
+    while (eq_cursor < neg.size() && neg[eq_cursor] == p) ++eq_cursor;
+    equal = eq_cursor - cursor;
+    wins += static_cast<double>(below) + 0.5 * static_cast<double>(equal);
+  }
+  result.roc_auc = wins / (static_cast<double>(pos.size()) *
+                           static_cast<double>(neg.size()));
+
+  // PR-AUC: sweep thresholds over the merged scores (descending), summing
+  // precision * recall-increment (step-wise interpolation).
+  struct Scored {
+    float score;
+    bool positive;
+  };
+  std::vector<Scored> merged;
+  merged.reserve(pos.size() + neg.size());
+  for (float s : pos) merged.push_back({s, true});
+  for (float s : neg) merged.push_back({s, false});
+  std::sort(merged.begin(), merged.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  double true_positives = 0.0, false_positives = 0.0;
+  double previous_recall = 0.0;
+  double area = 0.0;
+  size_t i = 0;
+  while (i < merged.size()) {
+    // Consume a tie block at once so ties do not order-bias the curve.
+    size_t j = i;
+    while (j < merged.size() && merged[j].score == merged[i].score) ++j;
+    for (size_t k = i; k < j; ++k) {
+      if (merged[k].positive) {
+        true_positives += 1.0;
+      } else {
+        false_positives += 1.0;
+      }
+    }
+    const double recall = true_positives / static_cast<double>(pos.size());
+    const double precision =
+        true_positives / (true_positives + false_positives);
+    area += precision * (recall - previous_recall);
+    previous_recall = recall;
+    i = j;
+  }
+  result.pr_auc = area;
+  return result;
+}
+
+AucResult ComputeTripleClassificationAuc(
+    const KgeModel& model, const Dataset& dataset, Split split,
+    const TripleAucOptions& options,
+    const std::vector<std::vector<int32_t>>* pools) {
+  Rng rng(options.seed);
+  const std::vector<Triple>& triples = dataset.split(split);
+  const int64_t count =
+      options.max_triples > 0
+          ? std::min<int64_t>(options.max_triples,
+                              static_cast<int64_t>(triples.size()))
+          : static_cast<int64_t>(triples.size());
+  const int32_t num_r = dataset.num_relations();
+
+  std::vector<float> positive_scores, negative_scores;
+  positive_scores.reserve(count);
+  negative_scores.reserve(count * options.negatives_per_positive);
+  for (int64_t i = 0; i < count; ++i) {
+    const Triple& t = triples[i];
+    positive_scores.push_back(model.ScoreTriple(t));
+    for (int32_t k = 0; k < options.negatives_per_positive; ++k) {
+      int32_t corrupt = -1;
+      if (pools != nullptr) {
+        const std::vector<int32_t>& pool = (*pools)[t.relation + num_r];
+        if (!pool.empty()) {
+          corrupt = pool[rng.NextBounded(pool.size())];
+        }
+      }
+      if (corrupt < 0) {
+        corrupt =
+            static_cast<int32_t>(rng.NextBounded(dataset.num_entities()));
+      }
+      if (corrupt == t.tail) {
+        corrupt = static_cast<int32_t>((corrupt + 1) %
+                                       dataset.num_entities());
+      }
+      negative_scores.push_back(
+          model.ScoreTriple({t.head, t.relation, corrupt}));
+    }
+  }
+  return ComputeAuc(positive_scores, negative_scores);
+}
+
+}  // namespace kgeval

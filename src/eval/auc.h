@@ -1,0 +1,46 @@
+#ifndef KGEVAL_EVAL_AUC_H_
+#define KGEVAL_EVAL_AUC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "models/kge_model.h"
+#include "util/rng.h"
+
+namespace kgeval {
+
+/// ROC-AUC and area under the precision-recall curve for a set of scored
+/// positives vs scored negatives. Ties are handled by the trapezoidal /
+/// midpoint convention (a tied pair counts 1/2).
+struct AucResult {
+  double roc_auc = 0.0;
+  double pr_auc = 0.0;
+  int64_t num_positives = 0;
+  int64_t num_negatives = 0;
+};
+
+/// Computes both areas from raw score vectors.
+AucResult ComputeAuc(const std::vector<float>& positive_scores,
+                     const std::vector<float>& negative_scores);
+
+/// Triple-classification AUC for a KGC model, the sampled-evaluation
+/// complement Section 7 proposes: positives are the split's triples,
+/// negatives are per-triple tail corruptions — uniform when `pools` is
+/// null, or drawn from the relation's range pool (hard negatives) when
+/// given. With hard negatives the task stops being "nearly solved"
+/// (Safavi & Koutra's CoDEx observation reproduced as an API).
+struct TripleAucOptions {
+  int64_t max_triples = 5000;
+  int32_t negatives_per_positive = 1;
+  uint64_t seed = 23;
+};
+
+AucResult ComputeTripleClassificationAuc(
+    const KgeModel& model, const Dataset& dataset, Split split,
+    const TripleAucOptions& options,
+    const std::vector<std::vector<int32_t>>* pools = nullptr);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_EVAL_AUC_H_

@@ -1,0 +1,87 @@
+#include "eval/full_evaluator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace kgeval {
+
+double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
+                    int32_t truth, float truth_score,
+                    const std::vector<int32_t>& answers, TieBreak tie) {
+  int64_t higher = 0;
+  int64_t tied = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t c = candidates[i];
+    if (c == truth) continue;
+    // Filtered setting: other known-true answers never demote the rank.
+    if (std::binary_search(answers.begin(), answers.end(), c)) continue;
+    if (scores[i] > truth_score) {
+      ++higher;
+    } else if (scores[i] == truth_score) {
+      ++tied;
+    }
+  }
+  return RankFromCounts(higher, tied, tie);
+}
+
+FullEvalResult EvaluateFullRanking(const KgeModel& model,
+                                   const Dataset& dataset,
+                                   const FilterIndex& filter, Split split,
+                                   const FullEvalOptions& options) {
+  const std::vector<Triple>& triples = dataset.split(split);
+  int64_t num_triples = static_cast<int64_t>(triples.size());
+  if (options.max_triples > 0) {
+    num_triples = std::min(num_triples, options.max_triples);
+  }
+  const int32_t num_entities = dataset.num_entities();
+
+  FullEvalResult result;
+  result.ranks.assign(static_cast<size_t>(num_triples) * 2, 0.0);
+
+  ParallelFor(
+      0, static_cast<size_t>(num_triples),
+      [&](size_t lo, size_t hi) {
+        std::vector<float> scores(num_entities);
+        for (size_t i = lo; i < hi; ++i) {
+          const Triple& triple = triples[i];
+          for (QueryDirection dir :
+               {QueryDirection::kTail, QueryDirection::kHead}) {
+            const bool tail_dir = dir == QueryDirection::kTail;
+            const int32_t anchor = tail_dir ? triple.head : triple.tail;
+            const int32_t truth = tail_dir ? triple.tail : triple.head;
+            model.ScoreAll(anchor, triple.relation, dir, scores.data());
+            const std::vector<int32_t>* answers =
+                filter.AnswersFor(triple, dir);
+            KGEVAL_CHECK(answers != nullptr);
+            const float truth_score = scores[truth];
+            // Walk entities in order, advancing a cursor through the sorted
+            // answers list instead of binary-searching per candidate.
+            int64_t higher = 0, tied = 0;
+            size_t cursor = 0;
+            for (int32_t e = 0; e < num_entities; ++e) {
+              while (cursor < answers->size() && (*answers)[cursor] < e) {
+                ++cursor;
+              }
+              if (cursor < answers->size() && (*answers)[cursor] == e) {
+                continue;  // Filtered (includes e == truth).
+              }
+              if (scores[e] > truth_score) {
+                ++higher;
+              } else if (scores[e] == truth_score) {
+                ++tied;
+              }
+            }
+            const double rank = RankFromCounts(higher, tied, options.tie);
+            result.ranks[i * 2 + (tail_dir ? 0 : 1)] = rank;
+          }
+        }
+      },
+      /*min_chunk=*/1);
+
+  result.metrics = RankingMetrics::FromRanks(result.ranks);
+  return result;
+}
+
+}  // namespace kgeval

@@ -1,0 +1,45 @@
+#ifndef KGEVAL_EVAL_FULL_EVALUATOR_H_
+#define KGEVAL_EVAL_FULL_EVALUATOR_H_
+
+#include <vector>
+
+#include "eval/metrics.h"
+#include "graph/dataset.h"
+#include "models/kge_model.h"
+
+namespace kgeval {
+
+/// Options for the exhaustive filtered-ranking evaluation (the O(|E|^2)
+/// procedure whose cost the paper's framework avoids).
+struct FullEvalOptions {
+  TieBreak tie = TieBreak::kMean;
+  /// Cap on evaluated triples (0 = all). Deterministic prefix of the split;
+  /// used by benches to bound the cost of the ground-truth computation.
+  int64_t max_triples = 0;
+};
+
+/// Result of a full evaluation: aggregated metrics plus per-query ranks
+/// (two per triple: tail query first, then head query).
+struct FullEvalResult {
+  RankingMetrics metrics;
+  std::vector<double> ranks;
+};
+
+/// Ranks every entity for every (h,r,?) and (?,r,t) query of `split`,
+/// filtering known true answers (train+valid+test). Multi-threaded.
+FullEvalResult EvaluateFullRanking(const KgeModel& model,
+                                   const Dataset& dataset,
+                                   const FilterIndex& filter, Split split,
+                                   const FullEvalOptions& options = {});
+
+/// Rank of the true answer within a scored candidate array, with the
+/// filtered candidates removed: `answers` is the sorted list of known true
+/// answers for the query (must contain `truth`). `scores[i]` corresponds to
+/// `candidates[i]`; candidates may contain duplicates of `truth` (skipped).
+double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
+                    int32_t truth, float truth_score,
+                    const std::vector<int32_t>& answers, TieBreak tie);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_EVAL_FULL_EVALUATOR_H_

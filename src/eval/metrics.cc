@@ -1,0 +1,78 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kMrr:
+      return "MRR";
+    case MetricKind::kHits1:
+      return "Hits@1";
+    case MetricKind::kHits3:
+      return "Hits@3";
+    case MetricKind::kHits10:
+      return "Hits@10";
+  }
+  return "?";
+}
+
+double RankFromCounts(int64_t num_higher, int64_t num_tied, TieBreak tie) {
+  KGEVAL_DCHECK(num_higher >= 0 && num_tied >= 0);
+  switch (tie) {
+    case TieBreak::kMean:
+      return 1.0 + static_cast<double>(num_higher) +
+             static_cast<double>(num_tied) / 2.0;
+    case TieBreak::kOptimistic:
+      return 1.0 + static_cast<double>(num_higher);
+    case TieBreak::kPessimistic:
+      return 1.0 + static_cast<double>(num_higher) +
+             static_cast<double>(num_tied);
+  }
+  return 1.0;
+}
+
+double RankingMetrics::Get(MetricKind kind) const {
+  switch (kind) {
+    case MetricKind::kMrr:
+      return mrr;
+    case MetricKind::kHits1:
+      return hits1;
+    case MetricKind::kHits3:
+      return hits3;
+    case MetricKind::kHits10:
+      return hits10;
+  }
+  return 0.0;
+}
+
+std::string RankingMetrics::ToString() const {
+  return StrFormat(
+      "MRR=%.4f Hits@1=%.4f Hits@3=%.4f Hits@10=%.4f MR=%.1f (n=%lld)", mrr,
+      hits1, hits3, hits10, mean_rank,
+      static_cast<long long>(num_queries));
+}
+
+RankingMetrics RankingMetrics::FromRanks(const std::vector<double>& ranks) {
+  RankingMetrics m;
+  m.num_queries = static_cast<int64_t>(ranks.size());
+  if (ranks.empty()) return m;
+  for (double rank : ranks) {
+    m.mrr += 1.0 / rank;
+    m.hits1 += rank <= 1.0 ? 1.0 : 0.0;
+    m.hits3 += rank <= 3.0 ? 1.0 : 0.0;
+    m.hits10 += rank <= 10.0 ? 1.0 : 0.0;
+    m.mean_rank += rank;
+  }
+  const double n = static_cast<double>(ranks.size());
+  m.mrr /= n;
+  m.hits1 /= n;
+  m.hits3 /= n;
+  m.hits10 /= n;
+  m.mean_rank /= n;
+  return m;
+}
+
+}  // namespace kgeval

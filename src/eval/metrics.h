@@ -1,0 +1,41 @@
+#ifndef KGEVAL_EVAL_METRICS_H_
+#define KGEVAL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kgeval {
+
+/// Ranking metrics the paper reports: filtered MRR and Hits@{1,3,10}.
+enum class MetricKind { kMrr = 0, kHits1, kHits3, kHits10 };
+
+const char* MetricKindName(MetricKind kind);
+
+/// How the rank of the true answer is resolved among score ties.
+/// kMean is the LibKGE "realistic" convention used as this library's default;
+/// the alternatives exist for the tie-handling ablation bench.
+enum class TieBreak { kMean = 0, kOptimistic, kPessimistic };
+
+/// Converts tie/higher counts into a (possibly fractional) 1-based rank.
+double RankFromCounts(int64_t num_higher, int64_t num_tied, TieBreak tie);
+
+/// Aggregated results of a ranking evaluation.
+struct RankingMetrics {
+  double mrr = 0.0;
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits10 = 0.0;
+  double mean_rank = 0.0;
+  int64_t num_queries = 0;
+
+  double Get(MetricKind kind) const;
+  std::string ToString() const;
+
+  /// Aggregates a vector of per-query ranks.
+  static RankingMetrics FromRanks(const std::vector<double>& ranks);
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_EVAL_METRICS_H_

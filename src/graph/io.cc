@@ -1,0 +1,136 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace kgeval {
+namespace {
+
+/// String -> dense id vocabulary, insertion-ordered.
+class Vocab {
+ public:
+  int32_t GetOrAdd(const std::string& label) {
+    auto [it, inserted] =
+        index_.emplace(label, static_cast<int32_t>(labels_.size()));
+    if (inserted) labels_.push_back(label);
+    return it->second;
+  }
+
+  int32_t size() const { return static_cast<int32_t>(labels_.size()); }
+  std::vector<std::string> TakeLabels() { return std::move(labels_); }
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> labels_;
+};
+
+Status ReadTriples(const std::string& path, bool required, Vocab* entities,
+                   Vocab* relations, std::vector<Triple>* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (required) {
+      return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+    }
+    return Status::OK();
+  }
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitString(line, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%lld: expected 3 tab-separated fields, got %zu",
+                    path.c_str(), static_cast<long long>(line_number),
+                    fields.size()));
+    }
+    out->push_back(Triple{entities->GetOrAdd(fields[0]),
+                          relations->GetOrAdd(fields[1]),
+                          entities->GetOrAdd(fields[2])});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> LoadDatasetFromTsv(const std::string& dir,
+                                   const std::string& name) {
+  Vocab entities, relations, types;
+  std::vector<Triple> train, valid, test;
+  KGEVAL_RETURN_NOT_OK(ReadTriples(dir + "/train.txt", /*required=*/true,
+                                   &entities, &relations, &train));
+  KGEVAL_RETURN_NOT_OK(ReadTriples(dir + "/valid.txt", /*required=*/false,
+                                   &entities, &relations, &valid));
+  KGEVAL_RETURN_NOT_OK(ReadTriples(dir + "/test.txt", /*required=*/false,
+                                   &entities, &relations, &test));
+
+  // Optional entity types.
+  std::vector<std::pair<int32_t, int32_t>> assignments;
+  {
+    std::ifstream in(dir + "/types.txt");
+    if (in.is_open()) {
+      std::string line;
+      int64_t line_number = 0;
+      while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = SplitString(line, '\t');
+        if (fields.size() != 2) {
+          return Status::InvalidArgument(StrFormat(
+              "%s/types.txt:%lld: expected 2 fields", dir.c_str(),
+              static_cast<long long>(line_number)));
+        }
+        assignments.emplace_back(entities.GetOrAdd(fields[0]),
+                                 types.GetOrAdd(fields[1]));
+      }
+    }
+  }
+  TypeStore store(entities.size(), types.size());
+  for (const auto& [entity, type] : assignments) store.Assign(entity, type);
+  store.Seal();
+
+  Dataset dataset(name, entities.size(), relations.size(), std::move(train),
+                  std::move(valid), std::move(test), std::move(store));
+  dataset.set_entity_labels(entities.TakeLabels());
+  dataset.set_relation_labels(relations.TakeLabels());
+  return dataset;
+}
+
+Status SaveDatasetToTsv(const Dataset& dataset, const std::string& dir) {
+  auto write_split = [&](const std::string& file,
+                         const std::vector<Triple>& triples) -> Status {
+    if (triples.empty() && file != "train.txt") return Status::OK();
+    const std::string path = dir + "/" + file;
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      return Status::IoError(StrFormat("cannot write %s", path.c_str()));
+    }
+    for (const Triple& t : triples) {
+      out << dataset.EntityLabel(t.head) << '\t'
+          << dataset.RelationLabel(t.relation) << '\t'
+          << dataset.EntityLabel(t.tail) << '\n';
+    }
+    return Status::OK();
+  };
+  KGEVAL_RETURN_NOT_OK(write_split("train.txt", dataset.train()));
+  KGEVAL_RETURN_NOT_OK(write_split("valid.txt", dataset.valid()));
+  KGEVAL_RETURN_NOT_OK(write_split("test.txt", dataset.test()));
+  if (dataset.has_types()) {
+    const std::string path = dir + "/types.txt";
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      return Status::IoError(StrFormat("cannot write %s", path.c_str()));
+    }
+    for (int32_t e = 0; e < dataset.num_entities(); ++e) {
+      for (int32_t type : dataset.types().TypesOf(e)) {
+        out << dataset.EntityLabel(e) << '\t' << "type" << type << '\n';
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kgeval

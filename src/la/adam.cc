@@ -1,0 +1,42 @@
+#include "la/adam.h"
+
+#include <cmath>
+
+namespace kgeval {
+
+AdamState::AdamState(size_t rows, size_t cols, AdamOptions options)
+    : options_(options),
+      cols_(cols),
+      m_(rows, cols, 0.0f),
+      v_(rows, cols, 0.0f),
+      beta1_pow_(rows, 1.0f),
+      beta2_pow_(rows, 1.0f) {}
+
+void AdamState::UpdateRow(Matrix* param, size_t r, const float* grad) {
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  beta1_pow_[r] *= b1;
+  beta2_pow_[r] *= b2;
+  const float correction1 = 1.0f - beta1_pow_[r];
+  const float correction2 = 1.0f - beta2_pow_[r];
+  const float lr = options_.learning_rate;
+  const float eps = options_.epsilon;
+  float* m = m_.Row(r);
+  float* v = v_.Row(r);
+  float* p = param->Row(r);
+  for (size_t i = 0; i < cols_; ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * grad[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * grad[i] * grad[i];
+    const float m_hat = m[i] / correction1;
+    const float v_hat = v[i] / correction2;
+    p[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+void AdamState::UpdateDense(Matrix* param, const Matrix& grads) {
+  for (size_t r = 0; r < grads.rows(); ++r) {
+    UpdateRow(param, r, grads.Row(r));
+  }
+}
+
+}  // namespace kgeval

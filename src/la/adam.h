@@ -1,0 +1,51 @@
+#ifndef KGEVAL_LA_ADAM_H_
+#define KGEVAL_LA_ADAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace kgeval {
+
+/// Hyper-parameters for Adam.
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+/// Adam state for one parameter matrix with *sparse row updates*: embedding
+/// training touches only a few rows per step, so moments are stored per row
+/// and bias correction uses a per-row step counter (a.k.a. lazy Adam). Dense
+/// parameters (e.g., ConvE filters) simply update every row each step.
+class AdamState {
+ public:
+  AdamState(size_t rows, size_t cols, AdamOptions options);
+
+  /// Applies one Adam update to `param`'s row `r` with gradient `grad`
+  /// (length cols). Thread-safe only for disjoint rows.
+  void UpdateRow(Matrix* param, size_t r, const float* grad);
+
+  /// Dense update helper: applies UpdateRow for every row of `grads`
+  /// (same shape as the parameter).
+  void UpdateDense(Matrix* param, const Matrix& grads);
+
+  const AdamOptions& options() const { return options_; }
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+
+ private:
+  AdamOptions options_;
+  size_t cols_;
+  Matrix m_;  // First-moment estimates.
+  Matrix v_;  // Second-moment estimates.
+  // Running beta powers per row (beta^t maintained incrementally instead of
+  // calling pow() twice per update — the updates are hot).
+  std::vector<float> beta1_pow_;
+  std::vector<float> beta2_pow_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_LA_ADAM_H_

@@ -1,0 +1,85 @@
+#ifndef KGEVAL_LA_VECTOR_OPS_H_
+#define KGEVAL_LA_VECTOR_OPS_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace kgeval {
+
+/// Contiguous-float kernels used by the scoring and gradient code. Written as
+/// simple loops; the compiler vectorizes them at -O2 with the restrict hints.
+
+/// Returns sum_i a[i] * b[i].
+inline float Dot(const float* __restrict a, const float* __restrict b,
+                 size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Returns sum_i a[i] * b[i] * c[i] (trilinear core of DistMult).
+inline float Dot3(const float* __restrict a, const float* __restrict b,
+                  const float* __restrict c, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i] * c[i];
+  return acc;
+}
+
+/// y += alpha * x.
+inline void Axpy(float alpha, const float* __restrict x, float* __restrict y,
+                 size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// y += alpha * x .* z (elementwise product), used by bilinear gradients.
+inline void AxpyMul(float alpha, const float* __restrict x,
+                    const float* __restrict z, float* __restrict y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i] * z[i];
+}
+
+/// x *= alpha.
+inline void Scale(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+/// Returns ||a - b||_2^2.
+inline float SquaredL2Distance(const float* __restrict a,
+                               const float* __restrict b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Returns sum_i |a[i] - b[i]|.
+inline float L1Distance(const float* __restrict a, const float* __restrict b,
+                        size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += std::fabs(a[i] - b[i]);
+  return acc;
+}
+
+/// Returns ||a||_2^2.
+inline float SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
+
+/// Numerically stable log(sigmoid(x)).
+inline float LogSigmoid(float x) {
+  if (x >= 0.0f) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+
+/// Sigmoid.
+inline float Sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float e = std::exp(-x);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_LA_VECTOR_OPS_H_

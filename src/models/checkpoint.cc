@@ -1,0 +1,186 @@
+#include "models/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace kgeval {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'G', 'E', 'V'};
+constexpr int32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod(out, static_cast<int32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  int32_t size = 0;
+  if (!ReadPod(in, &size) || size < 0 || size > 1 << 20) return false;
+  s->resize(static_cast<size_t>(size));
+  in.read(s->data(), size);
+  return in.good();
+}
+
+struct Header {
+  int32_t model_type = 0;
+  int32_t num_entities = 0;
+  int32_t num_relations = 0;
+  int32_t dim = 0;
+  int32_t relation_dim = 0;
+  uint64_t seed = 0;
+  int32_t num_params = 0;
+};
+
+}  // namespace
+
+Status SaveModel(KgeModel* model, const std::string& path) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError(StrFormat("cannot write %s", path.c_str()));
+  }
+  std::vector<KgeModel::NamedParameter> params;
+  model->CollectParameters(&params);
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  Header header;
+  header.model_type = static_cast<int32_t>(model->type());
+  header.num_entities = model->num_entities();
+  header.num_relations = model->num_relations();
+  header.dim = model->options().dim;
+  header.relation_dim = model->options().relation_dim;
+  header.seed = model->options().seed;
+  header.num_params = static_cast<int32_t>(params.size());
+  WritePod(out, header);
+
+  for (const auto& param : params) {
+    WriteString(out, param.name);
+    WritePod(out, static_cast<int64_t>(param.matrix->rows()));
+    WritePod(out, static_cast<int64_t>(param.matrix->cols()));
+    out.write(reinterpret_cast<const char*>(param.matrix->data()),
+              static_cast<std::streamsize>(param.matrix->size() *
+                                           sizeof(float)));
+  }
+  if (!out.good()) {
+    return Status::IoError(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<Header> ReadHeader(std::ifstream& in, const std::string& path) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not a kgeval checkpoint", path.c_str()));
+  }
+  int32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint version %d", version));
+  }
+  Header header;
+  if (!ReadPod(in, &header)) {
+    return Status::IoError("truncated checkpoint header");
+  }
+  return header;
+}
+
+Status RestoreParameters(KgeModel* model, std::ifstream& in,
+                         const Header& header) {
+  std::vector<KgeModel::NamedParameter> params;
+  model->CollectParameters(&params);
+  if (static_cast<int32_t>(params.size()) != header.num_params) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %d parameters, model has %zu",
+                  header.num_params, params.size()));
+  }
+  for (auto& param : params) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return Status::IoError("truncated parameter name");
+    }
+    if (name != param.name) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter order mismatch: expected '%s', found '%s'",
+          param.name, name.c_str()));
+    }
+    int64_t rows = 0, cols = 0;
+    if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) {
+      return Status::IoError("truncated parameter shape");
+    }
+    if (rows != static_cast<int64_t>(param.matrix->rows()) ||
+        cols != static_cast<int64_t>(param.matrix->cols())) {
+      return Status::InvalidArgument(StrFormat(
+          "shape mismatch for '%s': checkpoint %lldx%lld vs model %zux%zu",
+          param.name, static_cast<long long>(rows),
+          static_cast<long long>(cols), param.matrix->rows(),
+          param.matrix->cols()));
+    }
+    in.read(reinterpret_cast<char*>(param.matrix->data()),
+            static_cast<std::streamsize>(param.matrix->size() *
+                                         sizeof(float)));
+    if (!in.good()) return Status::IoError("truncated parameter data");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KgeModel>> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  auto header_or = ReadHeader(in, path);
+  if (!header_or.ok()) return header_or.status();
+  const Header header = header_or.ValueOrDie();
+
+  ModelOptions options;
+  options.dim = header.dim;
+  options.relation_dim = header.relation_dim;
+  options.seed = header.seed;
+  auto model_or = CreateModel(static_cast<ModelType>(header.model_type),
+                              header.num_entities, header.num_relations,
+                              options);
+  if (!model_or.ok()) return model_or.status();
+  std::unique_ptr<KgeModel> model = std::move(model_or).ValueOrDie();
+  KGEVAL_RETURN_NOT_OK(RestoreParameters(model.get(), in, header));
+  return {std::move(model)};
+}
+
+Status LoadModelInto(KgeModel* model, const std::string& path) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  auto header_or = ReadHeader(in, path);
+  if (!header_or.ok()) return header_or.status();
+  const Header header = header_or.ValueOrDie();
+  if (header.model_type != static_cast<int32_t>(model->type()) ||
+      header.num_entities != model->num_entities() ||
+      header.num_relations != model->num_relations()) {
+    return Status::InvalidArgument("checkpoint/model type or shape mismatch");
+  }
+  return RestoreParameters(model, in, header);
+}
+
+}  // namespace kgeval

@@ -1,0 +1,27 @@
+#ifndef KGEVAL_MODELS_CHECKPOINT_H_
+#define KGEVAL_MODELS_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "models/kge_model.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// Writes a binary checkpoint of `model`'s parameters (not optimizer state)
+/// to `path`. Format: magic, version, model type, shape metadata, then the
+/// named parameter matrices in CollectParameters order.
+Status SaveModel(KgeModel* model, const std::string& path);
+
+/// Reconstructs a model from a checkpoint: the stored type/shapes drive
+/// CreateModel, then the parameters are restored. Fails with IoError on
+/// unreadable files and InvalidArgument on format/shape mismatches.
+Result<std::unique_ptr<KgeModel>> LoadModel(const std::string& path);
+
+/// Restores a checkpoint into an existing model of matching type/shape.
+Status LoadModelInto(KgeModel* model, const std::string& path);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_MODELS_CHECKPOINT_H_

@@ -1,0 +1,84 @@
+#include "models/complex.h"
+
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace kgeval {
+
+ComplEx::ComplEx(int32_t num_entities, int32_t num_relations,
+                 ModelOptions options)
+    : KgeModel(ModelType::kComplEx, num_entities, num_relations, options),
+      half_(options.dim / 2),
+      entities_(num_entities, options.dim),
+      relations_(num_relations, options.dim),
+      entity_adam_(num_entities, options.dim, options.adam),
+      relation_adam_(num_relations, options.dim, options.adam) {
+  Rng rng(options.seed);
+  entities_.InitXavier(&rng, options.dim, options.dim);
+  relations_.InitXavier(&rng, options.dim, options.dim);
+}
+
+void ComplEx::ScoreCandidates(int32_t anchor, int32_t relation,
+                              QueryDirection direction,
+                              const int32_t* candidates, size_t n,
+                              float* out) const {
+  const int32_t m = half_;
+  const float* av = entities_.Row(anchor);
+  const float* rv = relations_.Row(relation);
+  // The score is linear in the candidate embedding: fold anchor and
+  // relation into a single query vector (q_re, q_im) and take dot products.
+  std::vector<float> query(2 * m);
+  if (direction == QueryDirection::kTail) {
+    // score = e.(ac - bd) + f.(bc + ad) with h=(a,b), r=(c,d), t=(e,f).
+    for (int32_t i = 0; i < m; ++i) {
+      const float a = av[i], b = av[m + i];
+      const float c = rv[i], d = rv[m + i];
+      query[i] = a * c - b * d;
+      query[m + i] = b * c + a * d;
+    }
+  } else {
+    // score = a.(ce + df) + b.(cf - de) with t=(e,f) as anchor.
+    for (int32_t i = 0; i < m; ++i) {
+      const float e = av[i], f = av[m + i];
+      const float c = rv[i], d = rv[m + i];
+      query[i] = c * e + d * f;
+      query[m + i] = c * f - d * e;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = Dot(query.data(), entities_.Row(candidates[k]),
+                 static_cast<size_t>(2 * m));
+  }
+}
+
+void ComplEx::UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                           QueryDirection /*direction*/, float dscore) {
+  const int32_t m = half_;
+  const float* h = entities_.Row(head);
+  const float* r = relations_.Row(relation);
+  const float* t = entities_.Row(tail);
+  std::vector<float> gh(2 * m), gr(2 * m), gt(2 * m);
+  const float l2 = options_.l2;
+  for (int32_t i = 0; i < m; ++i) {
+    const float a = h[i], b = h[m + i];
+    const float c = r[i], d = r[m + i];
+    const float e = t[i], f = t[m + i];
+    gh[i] = dscore * (c * e + d * f) + l2 * a;
+    gh[m + i] = dscore * (c * f - d * e) + l2 * b;
+    gr[i] = dscore * (a * e + b * f) + l2 * c;
+    gr[m + i] = dscore * (a * f - b * e) + l2 * d;
+    gt[i] = dscore * (a * c - b * d) + l2 * e;
+    gt[m + i] = dscore * (b * c + a * d) + l2 * f;
+  }
+  entity_adam_.UpdateRow(&entities_, head, gh.data());
+  relation_adam_.UpdateRow(&relations_, relation, gr.data());
+  entity_adam_.UpdateRow(&entities_, tail, gt.data());
+}
+
+void ComplEx::CollectParameters(std::vector<NamedParameter>* out) {
+  out->push_back({"entities", &entities_});
+  out->push_back({"relations", &relations_});
+}
+
+}  // namespace kgeval

@@ -1,0 +1,35 @@
+#ifndef KGEVAL_MODELS_COMPLEX_H_
+#define KGEVAL_MODELS_COMPLEX_H_
+
+#include "la/matrix.h"
+#include "models/kge_model.h"
+
+namespace kgeval {
+
+/// ComplEx (Trouillon et al., 2016): embeddings in C^{d/2}; the first d/2
+/// columns hold real parts, the last d/2 imaginary parts.
+/// score(h, r, t) = Re(<h, r, conj(t)>).
+class ComplEx : public KgeModel {
+ public:
+  ComplEx(int32_t num_entities, int32_t num_relations, ModelOptions options);
+
+  void ScoreCandidates(int32_t anchor, int32_t relation,
+                       QueryDirection direction, const int32_t* candidates,
+                       size_t n, float* out) const override;
+
+  void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                    QueryDirection direction, float dscore) override;
+
+  void CollectParameters(std::vector<NamedParameter>* out) override;
+
+ private:
+  int32_t half_;  // d / 2
+  Matrix entities_;
+  Matrix relations_;
+  AdamState entity_adam_;
+  AdamState relation_adam_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_MODELS_COMPLEX_H_

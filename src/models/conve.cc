@@ -1,0 +1,208 @@
+#include "models/conve.h"
+
+#include "la/vector_ops.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+
+Result<std::unique_ptr<KgeModel>> ConvE::Create(int32_t num_entities,
+                                                int32_t num_relations,
+                                                const ModelOptions& options) {
+  if (options.dim % kWidth != 0 || options.dim < 12) {
+    return Status::InvalidArgument(
+        StrFormat("ConvE dim must be >= 12 and divisible by %d, got %d",
+                  kWidth, options.dim));
+  }
+  return {std::unique_ptr<KgeModel>(
+      new ConvE(num_entities, num_relations, options))};
+}
+
+ConvE::ConvE(int32_t num_entities, int32_t num_relations,
+             ModelOptions options)
+    : KgeModel(ModelType::kConvE, num_entities, num_relations, options),
+      kh_(options.dim / kWidth),
+      hc_(2 * kh_ - (kKernel - 1)),
+      wc_(kWidth - (kKernel - 1)),
+      flat_size_(kChannels * hc_ * wc_),
+      entities_(num_entities, options.dim),
+      relations_(2 * num_relations, options.dim),
+      filters_(kChannels, kKernel * kKernel),
+      conv_bias_(1, kChannels, 0.0f),
+      fc_(flat_size_, options.dim),
+      fc_bias_(1, options.dim, 0.0f),
+      entity_bias_(num_entities, 1, 0.0f),
+      entity_adam_(num_entities, options.dim, options.adam),
+      relation_adam_(2 * num_relations, options.dim, options.adam),
+      filter_adam_(kChannels, kKernel * kKernel, options.adam),
+      conv_bias_adam_(1, kChannels, options.adam),
+      fc_adam_(flat_size_, options.dim, options.adam),
+      fc_bias_adam_(1, options.dim, options.adam),
+      entity_bias_adam_(num_entities, 1, options.adam) {
+  Rng rng(options.seed);
+  entities_.InitXavier(&rng, options.dim, options.dim);
+  relations_.InitXavier(&rng, options.dim, options.dim);
+  filters_.InitXavier(&rng, kKernel * kKernel, kChannels);
+  fc_.InitXavier(&rng, flat_size_, options.dim);
+}
+
+void ConvE::Forward(int32_t anchor, int32_t rel_row,
+                    Activations* acts) const {
+  const int32_t d = options_.dim;
+  const int32_t h_in = 2 * kh_;
+  acts->img.assign(static_cast<size_t>(h_in) * kWidth, 0.0f);
+  const float* a = entities_.Row(anchor);
+  const float* r = relations_.Row(rel_row);
+  // Top half: anchor embedding reshaped kh x kWidth; bottom half: relation.
+  for (int32_t i = 0; i < d; ++i) acts->img[i] = a[i];
+  for (int32_t i = 0; i < d; ++i) acts->img[d + i] = r[i];
+
+  acts->conv_pre.assign(static_cast<size_t>(kChannels) * hc_ * wc_, 0.0f);
+  acts->flat.assign(flat_size_, 0.0f);
+  for (int32_t c = 0; c < kChannels; ++c) {
+    const float* filt = filters_.Row(c);
+    const float bias = conv_bias_.At(0, c);
+    for (int32_t y = 0; y < hc_; ++y) {
+      for (int32_t x = 0; x < wc_; ++x) {
+        float acc = bias;
+        for (int32_t dy = 0; dy < kKernel; ++dy) {
+          for (int32_t dx = 0; dx < kKernel; ++dx) {
+            acc += filt[dy * kKernel + dx] *
+                   acts->img[(y + dy) * kWidth + (x + dx)];
+          }
+        }
+        const int32_t f = (c * hc_ + y) * wc_ + x;
+        acts->conv_pre[f] = acc;
+        acts->flat[f] = acc > 0.0f ? acc : 0.0f;
+      }
+    }
+  }
+
+  acts->psi_pre.assign(d, 0.0f);
+  for (int32_t o = 0; o < d; ++o) acts->psi_pre[o] = fc_bias_.At(0, o);
+  for (int32_t f = 0; f < flat_size_; ++f) {
+    const float act = acts->flat[f];
+    if (act == 0.0f) continue;
+    Axpy(act, fc_.Row(f), acts->psi_pre.data(), d);
+  }
+  acts->psi.resize(d);
+  for (int32_t o = 0; o < d; ++o) {
+    acts->psi[o] = acts->psi_pre[o] > 0.0f ? acts->psi_pre[o] : 0.0f;
+  }
+}
+
+void ConvE::ScoreCandidates(int32_t anchor, int32_t relation,
+                            QueryDirection direction,
+                            const int32_t* candidates, size_t n,
+                            float* out) const {
+  const int32_t rel_row = direction == QueryDirection::kTail
+                              ? relation
+                              : relation + num_relations_;
+  Activations acts;
+  Forward(anchor, rel_row, &acts);
+  const int32_t d = options_.dim;
+  for (size_t c = 0; c < n; ++c) {
+    out[c] = Dot(acts.psi.data(), entities_.Row(candidates[c]), d) +
+             entity_bias_.At(candidates[c], 0);
+  }
+}
+
+void ConvE::UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                         QueryDirection direction, float dscore) {
+  // Tail queries run the trunk on (h, r) and treat t as the candidate; head
+  // queries run it on (t, r_reciprocal) with h as the candidate.
+  const bool tail_dir = direction == QueryDirection::kTail;
+  const int32_t anchor = tail_dir ? head : tail;
+  const int32_t cand = tail_dir ? tail : head;
+  const int32_t rel_row = tail_dir ? relation : relation + num_relations_;
+
+  Activations acts;
+  Forward(anchor, rel_row, &acts);
+  const int32_t d = options_.dim;
+  const float l2 = options_.l2;
+
+  // --- Candidate-side gradients. ------------------------------------------
+  std::vector<float> gcand(d);
+  const float* cand_row = entities_.Row(cand);
+  for (int32_t o = 0; o < d; ++o) {
+    gcand[o] = dscore * acts.psi[o] + l2 * cand_row[o];
+  }
+  const float gcand_bias = dscore;
+
+  // --- Back through the final ReLU + dot product. --------------------------
+  std::vector<float> dpsi(d);
+  for (int32_t o = 0; o < d; ++o) {
+    dpsi[o] = acts.psi_pre[o] > 0.0f ? dscore * cand_row[o] : 0.0f;
+  }
+
+  // --- FC layer. Rows whose ReLU input was clipped carry no gradient (and
+  // no weight decay when l2 == 0), so they are skipped — roughly halves the
+  // dominant cost of a ConvE update.
+  std::vector<float> dflat(flat_size_, 0.0f);
+  std::vector<float> gfc_row(d);
+  for (int32_t f = 0; f < flat_size_; ++f) {
+    const float act = acts.flat[f];
+    if (act == 0.0f && l2 == 0.0f) continue;
+    const float* fc_row = fc_.Row(f);
+    dflat[f] = Dot(fc_row, dpsi.data(), d);
+    for (int32_t o = 0; o < d; ++o) {
+      gfc_row[o] = act * dpsi[o] + l2 * fc_row[o];
+    }
+    fc_adam_.UpdateRow(&fc_, f, gfc_row.data());
+  }
+  fc_bias_adam_.UpdateRow(&fc_bias_, 0, dpsi.data());
+
+  // --- Conv layer (through its ReLU). ---------------------------------------
+  const int32_t h_in = 2 * kh_;
+  std::vector<float> dimg(static_cast<size_t>(h_in) * kWidth, 0.0f);
+  std::vector<float> gconv_bias(kChannels, 0.0f);
+  std::vector<float> gfilt(kKernel * kKernel);
+  for (int32_t c = 0; c < kChannels; ++c) {
+    std::fill(gfilt.begin(), gfilt.end(), 0.0f);
+    const float* filt = filters_.Row(c);
+    for (int32_t y = 0; y < hc_; ++y) {
+      for (int32_t x = 0; x < wc_; ++x) {
+        const int32_t f = (c * hc_ + y) * wc_ + x;
+        if (acts.conv_pre[f] <= 0.0f) continue;
+        const float g = dflat[f];
+        if (g == 0.0f) continue;
+        gconv_bias[c] += g;
+        for (int32_t dy = 0; dy < kKernel; ++dy) {
+          for (int32_t dx = 0; dx < kKernel; ++dx) {
+            const int32_t pixel = (y + dy) * kWidth + (x + dx);
+            gfilt[dy * kKernel + dx] += g * acts.img[pixel];
+            dimg[pixel] += g * filt[dy * kKernel + dx];
+          }
+        }
+      }
+    }
+    for (int32_t k = 0; k < kKernel * kKernel; ++k) gfilt[k] += l2 * filt[k];
+    filter_adam_.UpdateRow(&filters_, c, gfilt.data());
+  }
+  conv_bias_adam_.UpdateRow(&conv_bias_, 0, gconv_bias.data());
+
+  // --- Input image -> anchor and relation embeddings. ----------------------
+  std::vector<float> ganchor(d), grel(d);
+  const float* anchor_row = entities_.Row(anchor);
+  const float* rel_row_ptr = relations_.Row(rel_row);
+  for (int32_t i = 0; i < d; ++i) {
+    ganchor[i] = dimg[i] + l2 * anchor_row[i];
+    grel[i] = dimg[d + i] + l2 * rel_row_ptr[i];
+  }
+
+  entity_adam_.UpdateRow(&entities_, cand, gcand.data());
+  entity_bias_adam_.UpdateRow(&entity_bias_, cand, &gcand_bias);
+  entity_adam_.UpdateRow(&entities_, anchor, ganchor.data());
+  relation_adam_.UpdateRow(&relations_, rel_row, grel.data());
+}
+
+void ConvE::CollectParameters(std::vector<NamedParameter>* out) {
+  out->push_back({"entities", &entities_});
+  out->push_back({"relations", &relations_});
+  out->push_back({"filters", &filters_});
+  out->push_back({"conv_bias", &conv_bias_});
+  out->push_back({"fc", &fc_});
+  out->push_back({"fc_bias", &fc_bias_});
+  out->push_back({"entity_bias", &entity_bias_});
+}
+
+}  // namespace kgeval

@@ -1,0 +1,108 @@
+#include "models/kge_model.h"
+
+#include <numeric>
+
+#include "models/complex.h"
+#include "models/conve.h"
+#include "models/distmult.h"
+#include "models/rescal.h"
+#include "models/rotate.h"
+#include "models/transe.h"
+#include "models/tucker.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+
+const char* ModelTypeName(ModelType type) {
+  switch (type) {
+    case ModelType::kTransE:
+      return "TransE";
+    case ModelType::kDistMult:
+      return "DistMult";
+    case ModelType::kComplEx:
+      return "ComplEx";
+    case ModelType::kRescal:
+      return "RESCAL";
+    case ModelType::kRotatE:
+      return "RotatE";
+    case ModelType::kTuckEr:
+      return "TuckER";
+    case ModelType::kConvE:
+      return "ConvE";
+  }
+  return "?";
+}
+
+Result<ModelType> ParseModelType(const std::string& name) {
+  for (ModelType type :
+       {ModelType::kTransE, ModelType::kDistMult, ModelType::kComplEx,
+        ModelType::kRescal, ModelType::kRotatE, ModelType::kTuckEr,
+        ModelType::kConvE}) {
+    if (name == ModelTypeName(type)) return type;
+  }
+  return Status::NotFound(StrFormat("unknown model '%s'", name.c_str()));
+}
+
+KgeModel::KgeModel(ModelType type, int32_t num_entities,
+                   int32_t num_relations, ModelOptions options)
+    : type_(type),
+      num_entities_(num_entities),
+      num_relations_(num_relations),
+      options_(options) {}
+
+void KgeModel::ScoreAll(int32_t anchor, int32_t relation,
+                        QueryDirection direction, float* out) const {
+  std::vector<int32_t> all(num_entities_);
+  std::iota(all.begin(), all.end(), 0);
+  ScoreCandidates(anchor, relation, direction, all.data(), all.size(), out);
+}
+
+float KgeModel::ScoreTriple(const Triple& t) const {
+  float score = 0.0f;
+  ScoreCandidates(t.head, t.relation, QueryDirection::kTail, &t.tail, 1,
+                  &score);
+  return score;
+}
+
+Result<std::unique_ptr<KgeModel>> CreateModel(ModelType type,
+                                              int32_t num_entities,
+                                              int32_t num_relations,
+                                              const ModelOptions& options) {
+  if (num_entities <= 0 || num_relations <= 0) {
+    return Status::InvalidArgument("entity/relation counts must be positive");
+  }
+  if (options.dim <= 0) {
+    return Status::InvalidArgument("embedding dim must be positive");
+  }
+  switch (type) {
+    case ModelType::kTransE:
+      return {std::unique_ptr<KgeModel>(
+          new TransE(num_entities, num_relations, options))};
+    case ModelType::kDistMult:
+      return {std::unique_ptr<KgeModel>(
+          new DistMult(num_entities, num_relations, options))};
+    case ModelType::kComplEx:
+      if (options.dim % 2 != 0) {
+        return Status::InvalidArgument("ComplEx needs an even dim");
+      }
+      return {std::unique_ptr<KgeModel>(
+          new ComplEx(num_entities, num_relations, options))};
+    case ModelType::kRescal:
+      return {std::unique_ptr<KgeModel>(
+          new Rescal(num_entities, num_relations, options))};
+    case ModelType::kRotatE:
+      if (options.dim % 2 != 0) {
+        return Status::InvalidArgument("RotatE needs an even dim");
+      }
+      return {std::unique_ptr<KgeModel>(
+          new RotatE(num_entities, num_relations, options))};
+    case ModelType::kTuckEr:
+      return {std::unique_ptr<KgeModel>(
+          new TuckEr(num_entities, num_relations, options))};
+    case ModelType::kConvE:
+      return ConvE::Create(num_entities, num_relations, options);
+  }
+  return Status::InvalidArgument("unhandled model type");
+}
+
+}  // namespace kgeval

@@ -1,0 +1,112 @@
+#ifndef KGEVAL_MODELS_KGE_MODEL_H_
+#define KGEVAL_MODELS_KGE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/triple.h"
+#include "la/adam.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// The KGC models evaluated in the paper (Section 5.2).
+enum class ModelType {
+  kTransE = 0,
+  kDistMult,
+  kComplEx,
+  kRescal,
+  kRotatE,
+  kTuckEr,
+  kConvE,
+};
+
+const char* ModelTypeName(ModelType type);
+Result<ModelType> ParseModelType(const std::string& name);
+
+/// Construction/optimization options shared by all models.
+struct ModelOptions {
+  int32_t dim = 32;            // Entity embedding width.
+  int32_t relation_dim = 0;    // 0 = model default (dim, or dim^2 for RESCAL).
+  AdamOptions adam;
+  float l2 = 0.0f;             // Weight decay on touched rows.
+  uint64_t seed = 7;
+};
+
+/// A knowledge-graph embedding model: scores triples and supports per-triple
+/// gradient updates. Scoring is thread-safe; UpdateTriple is hogwild-style
+/// (concurrent updates race benignly on disjoint rows, as is standard for
+/// CPU embedding training).
+class KgeModel {
+ public:
+  KgeModel(ModelType type, int32_t num_entities, int32_t num_relations,
+           ModelOptions options);
+  virtual ~KgeModel() = default;
+
+  KgeModel(const KgeModel&) = delete;
+  KgeModel& operator=(const KgeModel&) = delete;
+
+  ModelType type() const { return type_; }
+  const char* name() const { return ModelTypeName(type_); }
+  int32_t num_entities() const { return num_entities_; }
+  int32_t num_relations() const { return num_relations_; }
+  const ModelOptions& options() const { return options_; }
+
+  /// Scores `n` candidate entities for a query. For kTail queries the anchor
+  /// is the head and candidates are tails; for kHead queries the anchor is
+  /// the tail and candidates are heads. Higher = more plausible.
+  virtual void ScoreCandidates(int32_t anchor, int32_t relation,
+                               QueryDirection direction,
+                               const int32_t* candidates, size_t n,
+                               float* out) const = 0;
+
+  /// Scores every entity for a query (out has num_entities() slots).
+  void ScoreAll(int32_t anchor, int32_t relation, QueryDirection direction,
+                float* out) const;
+
+  /// Convenience single-triple score.
+  float ScoreTriple(const Triple& t) const;
+
+  /// Applies one gradient step: parameters move so as to *decrease*
+  /// `dscore * score(h, r, t)` — i.e., pass dscore = dLoss/dScore.
+  /// `direction` names the side the trainer treated as the candidate; models
+  /// with direction-specific parameterizations (ConvE's reciprocal
+  /// relations) use it, symmetric models ignore it.
+  virtual void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                            QueryDirection direction, float dscore) = 0;
+
+  /// Upper bound on useful hogwild parallelism for UpdateTriple. Embedding
+  /// models update disjoint rows and scale to any thread count; models with
+  /// *shared dense* parameters (ConvE's conv/FC stack, TuckER's core
+  /// tensor) hit cache-line contention beyond a few threads, so they cap it.
+  virtual size_t max_training_threads() const { return SIZE_MAX; }
+
+  /// A named view of one parameter matrix, used by checkpointing.
+  struct NamedParameter {
+    const char* name;
+    Matrix* matrix;
+  };
+
+  /// Appends views of every parameter matrix (stable names, stable order).
+  /// Optimizer state is not included: checkpoints restore the model for
+  /// inference/evaluation, not mid-flight training moments.
+  virtual void CollectParameters(std::vector<NamedParameter>* out) = 0;
+
+ protected:
+  ModelType type_;
+  int32_t num_entities_;
+  int32_t num_relations_;
+  ModelOptions options_;
+};
+
+/// Creates a model of the given type. Fails on invalid options (e.g., an odd
+/// dimension for the complex-valued models).
+Result<std::unique_ptr<KgeModel>> CreateModel(ModelType type,
+                                              int32_t num_entities,
+                                              int32_t num_relations,
+                                              const ModelOptions& options);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_MODELS_KGE_MODEL_H_

@@ -1,0 +1,76 @@
+#include "models/rescal.h"
+
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace kgeval {
+
+Rescal::Rescal(int32_t num_entities, int32_t num_relations,
+               ModelOptions options)
+    : KgeModel(ModelType::kRescal, num_entities, num_relations, options),
+      entities_(num_entities, options.dim),
+      relations_(num_relations,
+                 static_cast<size_t>(options.dim) * options.dim),
+      entity_adam_(num_entities, options.dim, options.adam),
+      relation_adam_(num_relations,
+                     static_cast<size_t>(options.dim) * options.dim,
+                     options.adam) {
+  Rng rng(options.seed);
+  entities_.InitXavier(&rng, options.dim, options.dim);
+  relations_.InitXavier(&rng, options.dim, options.dim);
+}
+
+void Rescal::ScoreCandidates(int32_t anchor, int32_t relation,
+                             QueryDirection direction,
+                             const int32_t* candidates, size_t n,
+                             float* out) const {
+  const size_t d = entities_.cols();
+  const float* a = entities_.Row(anchor);
+  const float* w = relations_.Row(relation);
+  std::vector<float> query(d, 0.0f);
+  if (direction == QueryDirection::kTail) {
+    // score = (W^T h) . t
+    for (size_t i = 0; i < d; ++i) {
+      Axpy(a[i], w + i * d, query.data(), d);
+    }
+  } else {
+    // score = (W t) . h
+    for (size_t i = 0; i < d; ++i) {
+      query[i] = Dot(w + i * d, a, d);
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    out[c] = Dot(query.data(), entities_.Row(candidates[c]), d);
+  }
+}
+
+void Rescal::UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                          QueryDirection /*direction*/, float dscore) {
+  const size_t d = entities_.cols();
+  const float* h = entities_.Row(head);
+  const float* w = relations_.Row(relation);
+  const float* t = entities_.Row(tail);
+  std::vector<float> gh(d), gt(d, 0.0f), gw(d * d);
+  const float l2 = options_.l2;
+  for (size_t i = 0; i < d; ++i) {
+    const float* w_row = w + i * d;
+    gh[i] = dscore * Dot(w_row, t, d) + l2 * h[i];
+    // gt accumulates dscore * h_i * W_i; gw_ij = dscore * h_i * t_j.
+    for (size_t j = 0; j < d; ++j) {
+      gt[j] += dscore * h[i] * w_row[j];
+      gw[i * d + j] = dscore * h[i] * t[j] + l2 * w_row[j];
+    }
+  }
+  for (size_t j = 0; j < d; ++j) gt[j] += l2 * t[j];
+  entity_adam_.UpdateRow(&entities_, head, gh.data());
+  relation_adam_.UpdateRow(&relations_, relation, gw.data());
+  entity_adam_.UpdateRow(&entities_, tail, gt.data());
+}
+
+void Rescal::CollectParameters(std::vector<NamedParameter>* out) {
+  out->push_back({"entities", &entities_});
+  out->push_back({"relations", &relations_});
+}
+
+}  // namespace kgeval

@@ -1,0 +1,95 @@
+#include "models/rotate.h"
+
+#include <cmath>
+#include <vector>
+
+namespace kgeval {
+namespace {
+constexpr float kEps = 1e-9f;
+}
+
+RotatE::RotatE(int32_t num_entities, int32_t num_relations,
+               ModelOptions options)
+    : KgeModel(ModelType::kRotatE, num_entities, num_relations, options),
+      half_(options.dim / 2),
+      entities_(num_entities, options.dim),
+      phases_(num_relations, options.dim / 2),
+      entity_adam_(num_entities, options.dim, options.adam),
+      phase_adam_(num_relations, options.dim / 2, options.adam) {
+  Rng rng(options.seed);
+  entities_.InitXavier(&rng, options.dim, options.dim);
+  phases_.InitUniform(&rng, -static_cast<float>(M_PI),
+                      static_cast<float>(M_PI));
+}
+
+void RotatE::ScoreCandidates(int32_t anchor, int32_t relation,
+                             QueryDirection direction,
+                             const int32_t* candidates, size_t n,
+                             float* out) const {
+  const int32_t m = half_;
+  const float* a = entities_.Row(anchor);
+  const float* theta = phases_.Row(relation);
+  // Rotate the anchor so the score is a plain complex distance to the
+  // candidate: tail query uses q = h * r; head query uses q = t * conj(r)
+  // (valid because |r_j| = 1).
+  std::vector<float> q(2 * m);
+  for (int32_t j = 0; j < m; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = direction == QueryDirection::kTail ? std::sin(theta[j])
+                                                       : -std::sin(theta[j]);
+    const float re = a[j], im = a[m + j];
+    q[j] = re * c - im * s;
+    q[m + j] = re * s + im * c;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const float* e = entities_.Row(candidates[k]);
+    float dist = 0.0f;
+    for (int32_t j = 0; j < m; ++j) {
+      const float dre = q[j] - e[j];
+      const float dim = q[m + j] - e[m + j];
+      dist += std::sqrt(dre * dre + dim * dim + kEps);
+    }
+    out[k] = -dist;
+  }
+}
+
+void RotatE::UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                          QueryDirection /*direction*/, float dscore) {
+  const int32_t m = half_;
+  const float* h = entities_.Row(head);
+  const float* theta = phases_.Row(relation);
+  const float* t = entities_.Row(tail);
+  std::vector<float> gh(2 * m), gt(2 * m), gtheta(m);
+  const float l2 = options_.l2;
+  for (int32_t j = 0; j < m; ++j) {
+    const float c = std::cos(theta[j]);
+    const float s = std::sin(theta[j]);
+    const float a = h[j], b = h[m + j];
+    // u = h_j * r_j - t_j.
+    const float ure = a * c - b * s - t[j];
+    const float uim = a * s + b * c - t[m + j];
+    const float mod = std::sqrt(ure * ure + uim * uim + kEps);
+    // score contribution = -|u|; d(-|u|)/d(ure) = -ure/|u|, so the loss
+    // gradient w.r.t. u's components is dscore * (-u/|u|).
+    const float dre = -dscore * ure / mod;
+    const float dim = -dscore * uim / mod;
+    // Chain rule into h, t, theta. d(ure)/da = c, d(ure)/db = -s,
+    // d(uim)/da = s, d(uim)/db = c; d(u)/dt = -1.
+    gh[j] = dre * c + dim * s + l2 * a;
+    gh[m + j] = dre * (-s) + dim * c + l2 * b;
+    gt[j] = -dre + l2 * t[j];
+    gt[m + j] = -dim + l2 * t[m + j];
+    // d(ure)/dtheta = -a s - b c; d(uim)/dtheta = a c - b s.
+    gtheta[j] = dre * (-a * s - b * c) + dim * (a * c - b * s);
+  }
+  entity_adam_.UpdateRow(&entities_, head, gh.data());
+  phase_adam_.UpdateRow(&phases_, relation, gtheta.data());
+  entity_adam_.UpdateRow(&entities_, tail, gt.data());
+}
+
+void RotatE::CollectParameters(std::vector<NamedParameter>* out) {
+  out->push_back({"entities", &entities_});
+  out->push_back({"phases", &phases_});
+}
+
+}  // namespace kgeval

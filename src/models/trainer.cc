@@ -1,0 +1,143 @@
+#include "models/trainer.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace kgeval {
+namespace {
+
+/// Processes triples [lo, hi) of the shuffled order; returns the summed loss.
+double RunChunk(const Dataset& dataset, const std::vector<int32_t>& order,
+                size_t lo, size_t hi, const TrainerOptions& options,
+                uint64_t seed, KgeModel* model) {
+  Rng rng(seed);
+  const int32_t num_negatives = options.negatives_per_positive;
+  const int32_t num_entities = dataset.num_entities();
+  std::vector<int32_t> candidates(1 + num_negatives);
+  std::vector<float> scores(1 + num_negatives);
+  double loss = 0.0;
+  for (size_t idx = lo; idx < hi; ++idx) {
+    const Triple& pos = dataset.train()[order[idx]];
+    for (QueryDirection dir : {QueryDirection::kTail, QueryDirection::kHead}) {
+      const bool tail_dir = dir == QueryDirection::kTail;
+      const int32_t anchor = tail_dir ? pos.head : pos.tail;
+      const int32_t truth = tail_dir ? pos.tail : pos.head;
+      candidates[0] = truth;
+      for (int32_t k = 0; k < num_negatives; ++k) {
+        int32_t neg = -1;
+        if (options.negative_sampler) {
+          neg = options.negative_sampler(pos.relation, dir, &rng);
+        }
+        if (neg < 0) {
+          neg = static_cast<int32_t>(rng.NextBounded(num_entities));
+        }
+        if (neg == truth) {
+          neg = static_cast<int32_t>((neg + 1) % num_entities);
+        }
+        candidates[1 + k] = neg;
+      }
+      model->ScoreCandidates(anchor, pos.relation, dir, candidates.data(),
+                             candidates.size(), scores.data());
+      // Positive term.
+      loss -= LogSigmoid(scores[0]);
+      const float dpos = Sigmoid(scores[0]) - 1.0f;
+      model->UpdateTriple(pos.head, pos.relation, pos.tail, dir, dpos);
+      // Negative terms.
+      for (int32_t k = 0; k < num_negatives; ++k) {
+        const float s_neg = scores[1 + k];
+        loss -= LogSigmoid(-s_neg);
+        const float dneg = Sigmoid(s_neg);
+        Triple neg = pos;
+        if (tail_dir) {
+          neg.tail = candidates[1 + k];
+        } else {
+          neg.head = candidates[1 + k];
+        }
+        model->UpdateTriple(neg.head, neg.relation, neg.tail, dir, dneg);
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace
+
+Trainer::Trainer(const Dataset* dataset, TrainerOptions options)
+    : dataset_(dataset), options_(options) {
+  KGEVAL_CHECK(dataset_ != nullptr);
+  KGEVAL_CHECK_GT(options_.negatives_per_positive, 0);
+}
+
+double Trainer::TrainEpoch(KgeModel* model, int32_t epoch) {
+  const size_t n = dataset_->train().size();
+  if (n == 0) return 0.0;
+  std::vector<int32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+  Rng shuffle_rng(options_.seed + 0x9E37 * static_cast<uint64_t>(epoch + 1));
+  shuffle_rng.Shuffle(&order);
+
+  size_t threads = options_.num_threads > 0
+                       ? static_cast<size_t>(options_.num_threads)
+                       : GlobalThreadPool()->num_threads();
+  threads = std::min(threads, model->max_training_threads());
+  threads = std::max<size_t>(1, std::min(threads, n));
+  const size_t num_chunks = threads;
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  std::mutex loss_mutex;
+  double total_loss = 0.0;
+  if (num_chunks == 1) {
+    total_loss = RunChunk(*dataset_, order, 0, n, options_,
+                          options_.seed ^ (epoch * 0x517CC1B7ULL), model);
+  } else {
+    ThreadPool* pool = GlobalThreadPool();
+    std::atomic<size_t> pending{0};
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+    size_t launched = 0;
+    for (size_t lo = 0; lo < n; lo += chunk) {
+      ++launched;
+    }
+    pending.store(launched);
+    for (size_t lo = 0; lo < n; lo += chunk) {
+      const size_t hi = std::min(n, lo + chunk);
+      const uint64_t seed = options_.seed ^ (epoch * 0x517CC1B7ULL) ^
+                            (lo * 0x2545F4914F6CDD1DULL);
+      pool->Submit([&, lo, hi, seed] {
+        const double loss =
+            RunChunk(*dataset_, order, lo, hi, options_, seed, model);
+        {
+          std::lock_guard<std::mutex> lock(loss_mutex);
+          total_loss += loss;
+        }
+        if (pending.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> lock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return pending.load() == 0; });
+  }
+  return total_loss / static_cast<double>(n);
+}
+
+Status Trainer::Train(KgeModel* model, const EpochCallback& callback) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double loss = TrainEpoch(model, epoch);
+    KGEVAL_LOG(Debug) << model->name() << " epoch " << epoch
+                      << " loss=" << loss;
+    if (callback) callback(epoch, *model);
+  }
+  return Status::OK();
+}
+
+}  // namespace kgeval

@@ -1,0 +1,59 @@
+#ifndef KGEVAL_MODELS_TRAINER_H_
+#define KGEVAL_MODELS_TRAINER_H_
+
+#include <functional>
+
+#include "graph/dataset.h"
+#include "models/kge_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// Supplies one corruption entity for a training negative, or -1 to fall
+/// back to a uniform draw. Must be thread-safe for concurrent calls with
+/// distinct Rng instances (hogwild training calls it from every chunk).
+using NegativeSamplerFn = std::function<int32_t(
+    int32_t relation, QueryDirection direction, Rng* rng)>;
+
+/// Negative-sampling trainer options. The loss is the standard binary
+/// cross-entropy with uniform entity corruption:
+///   L = -log sigmoid(s_pos) - sum_neg log sigmoid(-s_neg),
+/// applied in both query directions per positive (head and tail corruption).
+struct TrainerOptions {
+  int32_t epochs = 20;
+  int32_t negatives_per_positive = 4;
+  /// Hogwild parallelism: fixed chunking keeps the RNG streams deterministic
+  /// per (epoch, chunk); 1 disables threading entirely.
+  int32_t num_threads = 0;  // 0 = use the global pool width.
+  uint64_t seed = 99;
+
+  /// Optional custom corruption source — used for the recommender-guided
+  /// negative sampling Section 7 names as future work (see
+  /// MakeGuidedNegativeSampler in core/guided_negatives.h). Null = uniform.
+  NegativeSamplerFn negative_sampler;
+};
+
+/// Drives epochs of stochastic training over a dataset's train split.
+class Trainer {
+ public:
+  Trainer(const Dataset* dataset, TrainerOptions options);
+
+  /// Runs one epoch of updates; returns the mean per-positive loss.
+  double TrainEpoch(KgeModel* model, int32_t epoch);
+
+  /// Runs options.epochs epochs. `callback`, when given, runs after each
+  /// epoch (e.g., to estimate validation metrics — the paper's per-epoch
+  /// evaluation loop).
+  using EpochCallback =
+      std::function<void(int32_t epoch, const KgeModel& model)>;
+  Status Train(KgeModel* model, const EpochCallback& callback = nullptr);
+
+ private:
+  const Dataset* dataset_;
+  TrainerOptions options_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_MODELS_TRAINER_H_

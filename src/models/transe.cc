@@ -1,0 +1,67 @@
+#include "models/transe.h"
+
+#include <vector>
+
+#include "la/vector_ops.h"
+
+namespace kgeval {
+
+TransE::TransE(int32_t num_entities, int32_t num_relations,
+               ModelOptions options)
+    : KgeModel(ModelType::kTransE, num_entities, num_relations, options),
+      entities_(num_entities, options.dim),
+      relations_(num_relations, options.dim),
+      entity_adam_(num_entities, options.dim, options.adam),
+      relation_adam_(num_relations, options.dim, options.adam) {
+  Rng rng(options.seed);
+  entities_.InitXavier(&rng, options.dim, options.dim);
+  relations_.InitXavier(&rng, options.dim, options.dim);
+}
+
+void TransE::ScoreCandidates(int32_t anchor, int32_t relation,
+                             QueryDirection direction,
+                             const int32_t* candidates, size_t n,
+                             float* out) const {
+  const size_t d = entities_.cols();
+  const float* a = entities_.Row(anchor);
+  const float* r = relations_.Row(relation);
+  std::vector<float> query(d);
+  if (direction == QueryDirection::kTail) {
+    // score = -|| (h + r) - t ||_1
+    for (size_t i = 0; i < d; ++i) query[i] = a[i] + r[i];
+  } else {
+    // score = -|| h - (t - r) ||_1
+    for (size_t i = 0; i < d; ++i) query[i] = a[i] - r[i];
+  }
+  for (size_t c = 0; c < n; ++c) {
+    out[c] = -L1Distance(query.data(), entities_.Row(candidates[c]), d);
+  }
+}
+
+void TransE::UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                          QueryDirection /*direction*/, float dscore) {
+  const size_t d = entities_.cols();
+  const float* h = entities_.Row(head);
+  const float* r = relations_.Row(relation);
+  const float* t = entities_.Row(tail);
+  std::vector<float> gh(d), gr(d), gt(d);
+  const float l2 = options_.l2;
+  for (size_t i = 0; i < d; ++i) {
+    const float delta = h[i] + r[i] - t[i];
+    // d(score)/d(h_i) = -sign(delta); chain with dscore.
+    const float sign = delta > 0.0f ? 1.0f : (delta < 0.0f ? -1.0f : 0.0f);
+    gh[i] = -dscore * sign + l2 * h[i];
+    gr[i] = -dscore * sign + l2 * r[i];
+    gt[i] = dscore * sign + l2 * t[i];
+  }
+  entity_adam_.UpdateRow(&entities_, head, gh.data());
+  relation_adam_.UpdateRow(&relations_, relation, gr.data());
+  entity_adam_.UpdateRow(&entities_, tail, gt.data());
+}
+
+void TransE::CollectParameters(std::vector<NamedParameter>* out) {
+  out->push_back({"entities", &entities_});
+  out->push_back({"relations", &relations_});
+}
+
+}  // namespace kgeval

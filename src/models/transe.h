@@ -1,0 +1,35 @@
+#ifndef KGEVAL_MODELS_TRANSE_H_
+#define KGEVAL_MODELS_TRANSE_H_
+
+#include "la/matrix.h"
+#include "models/kge_model.h"
+
+namespace kgeval {
+
+/// TransE (Bordes et al., 2013): score(h, r, t) = -|| h + r - t ||_1.
+class TransE : public KgeModel {
+ public:
+  TransE(int32_t num_entities, int32_t num_relations, ModelOptions options);
+
+  void ScoreCandidates(int32_t anchor, int32_t relation,
+                       QueryDirection direction, const int32_t* candidates,
+                       size_t n, float* out) const override;
+
+  void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
+                    QueryDirection direction, float dscore) override;
+
+  void CollectParameters(std::vector<NamedParameter>* out) override;
+
+  const Matrix& entities() const { return entities_; }
+  const Matrix& relations() const { return relations_; }
+
+ private:
+  Matrix entities_;
+  Matrix relations_;
+  AdamState entity_adam_;
+  AdamState relation_adam_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_MODELS_TRANSE_H_

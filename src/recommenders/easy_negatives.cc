@@ -1,0 +1,45 @@
+#include "recommenders/easy_negatives.h"
+
+namespace kgeval {
+
+EasyNegativeReport MineEasyNegatives(const RecommenderScores& scores,
+                                     const Dataset& dataset,
+                                     int64_t max_examples) {
+  EasyNegativeReport report;
+  const CsrMatrix& x = scores.scores;
+  report.total_cells = x.rows() * x.cols();
+  // Structurally absent cells score exactly 0; stored zeros (possible in
+  // principle) are counted too.
+  int64_t stored_zeros = 0;
+  for (float v : x.values()) {
+    if (v == 0.0f) ++stored_zeros;
+  }
+  report.easy_negatives = report.total_cells - x.nnz() + stored_zeros;
+  report.easy_fraction =
+      report.total_cells > 0
+          ? static_cast<double>(report.easy_negatives) /
+                static_cast<double>(report.total_cells)
+          : 0.0;
+
+  const int32_t num_r = dataset.num_relations();
+  for (const Triple& t : dataset.test()) {
+    // Head in the relation's domain column; tail in its range column.
+    if (x.At(t.head, t.relation) == 0.0f) {
+      ++report.false_easy;
+      if (max_examples == 0 ||
+          static_cast<int64_t>(report.examples.size()) < max_examples) {
+        report.examples.push_back({t, QueryDirection::kHead});
+      }
+    }
+    if (x.At(t.tail, t.relation + num_r) == 0.0f) {
+      ++report.false_easy;
+      if (max_examples == 0 ||
+          static_cast<int64_t>(report.examples.size()) < max_examples) {
+        report.examples.push_back({t, QueryDirection::kTail});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace kgeval

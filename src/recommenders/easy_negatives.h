@@ -1,0 +1,39 @@
+#ifndef KGEVAL_RECOMMENDERS_EASY_NEGATIVES_H_
+#define KGEVAL_RECOMMENDERS_EASY_NEGATIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/triple.h"
+#include "recommenders/recommender.h"
+
+namespace kgeval {
+
+/// One test triple contradicted by a zero score (a "false easy negative",
+/// Table 10): the slot the recommender ruled out, and whether the head or
+/// tail side triggered it.
+struct FalseEasyNegative {
+  Triple triple;
+  QueryDirection direction = QueryDirection::kTail;
+};
+
+/// Section 4 / Table 2: how much of the |E| x 2|R| score space a
+/// recommender rules out entirely (score exactly 0), and how often a test
+/// triple lands on a ruled-out cell.
+struct EasyNegativeReport {
+  int64_t total_cells = 0;      // |E| * 2|R|
+  int64_t easy_negatives = 0;   // zero-score cells
+  double easy_fraction = 0.0;   // easy_negatives / total_cells
+  int64_t false_easy = 0;       // test slots hitting a zero cell
+  std::vector<FalseEasyNegative> examples;
+};
+
+/// Mines the zero cells of `scores` against `dataset`'s test split.
+/// `max_examples` caps the collected qualitative examples (0 = collect all).
+EasyNegativeReport MineEasyNegatives(const RecommenderScores& scores,
+                                     const Dataset& dataset,
+                                     int64_t max_examples = 64);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_RECOMMENDERS_EASY_NEGATIVES_H_

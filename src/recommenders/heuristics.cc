@@ -1,0 +1,108 @@
+#include "recommenders/heuristics.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace kgeval {
+namespace {
+
+int64_t NumSets(const Dataset& dataset) {
+  return 2LL * dataset.num_relations();
+}
+
+}  // namespace
+
+Result<RecommenderScores> PtRecommender::Fit(const Dataset& dataset) {
+  WallTimer timer;
+  CooBuilder builder(dataset.num_entities(), NumSets(dataset));
+  builder.Reserve(dataset.train().size() * 2);
+  const int32_t num_r = dataset.num_relations();
+  for (const Triple& t : dataset.train()) {
+    builder.Add(t.head, t.relation, 1.0f);
+    builder.Add(t.tail, t.relation + num_r, 1.0f);
+  }
+  CsrMatrix scores = builder.Build();
+  // Duplicate (entity, slot) observations summed to counts; PT is binary.
+  for (float& v : scores.mutable_values()) v = 1.0f;
+  return internal::FinalizeScores(RecommenderType::kPt, std::move(scores),
+                                  timer.Seconds());
+}
+
+Result<RecommenderScores> DbhRecommender::Fit(const Dataset& dataset) {
+  if (use_types_ && !dataset.has_types()) {
+    return Status::FailedPrecondition("DBH-T needs entity types");
+  }
+  WallTimer timer;
+  const int32_t num_r = dataset.num_relations();
+  const TypeStore& types = dataset.types();
+
+  CooBuilder builder(dataset.num_entities(), NumSets(dataset));
+  builder.Reserve(dataset.train().size() * 2);
+  // DBH core: per-slot occurrence counts.
+  for (const Triple& t : dataset.train()) {
+    builder.Add(t.head, t.relation, 1.0f);
+    builder.Add(t.tail, t.relation + num_r, 1.0f);
+  }
+  if (use_types_) {
+    // DBH-T: types observed per slot, then +1 to every member of the type.
+    // Collected as sets first so a frequent (type, slot) combination counts
+    // once, matching "is seen as a head" in the paper's description.
+    std::vector<std::unordered_set<int32_t>> slot_types(NumSets(dataset));
+    for (const Triple& t : dataset.train()) {
+      for (int32_t type : types.TypesOf(t.head)) {
+        slot_types[t.relation].insert(type);
+      }
+      for (int32_t type : types.TypesOf(t.tail)) {
+        slot_types[t.relation + num_r].insert(type);
+      }
+    }
+    for (int64_t slot = 0; slot < NumSets(dataset); ++slot) {
+      for (int32_t type : slot_types[slot]) {
+        for (int32_t entity : types.EntitiesOf(type)) {
+          builder.Add(entity, slot, 1.0f);
+        }
+      }
+    }
+  }
+  return internal::FinalizeScores(type(), builder.Build(), timer.Seconds());
+}
+
+Result<RecommenderScores> OntoSimRecommender::Fit(const Dataset& dataset) {
+  if (!dataset.has_types()) {
+    return Status::FailedPrecondition("OntoSim needs entity types");
+  }
+  WallTimer timer;
+  const int32_t num_r = dataset.num_relations();
+  const TypeStore& types = dataset.types();
+
+  std::vector<std::unordered_set<int32_t>> slot_types(NumSets(dataset));
+  for (const Triple& t : dataset.train()) {
+    for (int32_t type : types.TypesOf(t.head)) {
+      slot_types[t.relation].insert(type);
+    }
+    for (int32_t type : types.TypesOf(t.tail)) {
+      slot_types[t.relation + num_r].insert(type);
+    }
+  }
+  CooBuilder builder(dataset.num_entities(), NumSets(dataset));
+  for (int64_t slot = 0; slot < NumSets(dataset); ++slot) {
+    for (int32_t type : slot_types[slot]) {
+      for (int32_t entity : types.EntitiesOf(type)) {
+        builder.Add(entity, slot, 1.0f);
+      }
+    }
+  }
+  // Entities seen in a slot always belong to it, types or not.
+  for (const Triple& t : dataset.train()) {
+    builder.Add(t.head, t.relation, 1.0f);
+    builder.Add(t.tail, t.relation + num_r, 1.0f);
+  }
+  CsrMatrix scores = builder.Build();
+  for (float& v : scores.mutable_values()) v = 1.0f;
+  return internal::FinalizeScores(RecommenderType::kOntoSim,
+                                  std::move(scores), timer.Seconds());
+}
+
+}  // namespace kgeval

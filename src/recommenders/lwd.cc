@@ -1,0 +1,71 @@
+#include "recommenders/lwd.h"
+
+#include "util/timer.h"
+
+namespace kgeval {
+namespace {
+
+/// Keeps only columns [0, keep_cols) of `m` (drops the type columns from the
+/// L-WD-T output so the score matrix is always |E| x 2|R|).
+CsrMatrix SliceColumns(const CsrMatrix& m, int64_t keep_cols) {
+  std::vector<int64_t> row_ptr(m.rows() + 1, 0);
+  std::vector<int32_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(m.nnz());
+  values.reserve(m.nnz());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+      if (m.col_idx()[k] < keep_cols) {
+        col_idx.push_back(m.col_idx()[k]);
+        values.push_back(m.values()[k]);
+      }
+    }
+    row_ptr[r + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  return CsrMatrix(m.rows(), keep_cols, std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+}  // namespace
+
+Result<RecommenderScores> LwdRecommender::Fit(const Dataset& dataset) {
+  if (use_types_ && !dataset.has_types()) {
+    return Status::FailedPrecondition("L-WD-T needs entity types");
+  }
+  WallTimer timer;
+  const int32_t num_r = dataset.num_relations();
+  const int64_t dr_cols = 2LL * num_r;
+  const int64_t type_cols =
+      use_types_ ? static_cast<int64_t>(dataset.types().num_types()) : 0;
+  const int64_t total_cols = dr_cols + type_cols;
+
+  // B: binary membership of entities in observed domains/ranges (+ types).
+  CooBuilder builder(dataset.num_entities(), total_cols);
+  builder.Reserve(dataset.train().size() * 2);
+  for (const Triple& t : dataset.train()) {
+    builder.Add(t.head, t.relation, 1.0f);
+    builder.Add(t.tail, t.relation + num_r, 1.0f);
+  }
+  if (use_types_) {
+    const TypeStore& types = dataset.types();
+    for (int32_t e = 0; e < dataset.num_entities(); ++e) {
+      for (int32_t type : types.TypesOf(e)) {
+        builder.Add(e, dr_cols + type, 1.0f);
+      }
+    }
+  }
+  CsrMatrix b = builder.Build();
+  for (float& v : b.mutable_values()) v = 1.0f;  // Counts -> membership.
+
+  // W = B^T B, row-normalized: co-occurrence confidences between slots.
+  CsrMatrix w = SpGemm(b.Transpose(), b);
+  w.NormalizeRows();
+
+  // X = B W: per-entity aggregated confidence of belonging to each slot.
+  CsrMatrix x = SpGemm(b, w);
+  if (type_cols > 0) x = SliceColumns(x, dr_cols);
+
+  return internal::FinalizeScores(type(), std::move(x), timer.Seconds());
+}
+
+}  // namespace kgeval

@@ -1,0 +1,74 @@
+#ifndef KGEVAL_RECOMMENDERS_RECOMMENDER_H_
+#define KGEVAL_RECOMMENDERS_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/dataset.h"
+#include "sparse/csr.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// The relation recommenders compared in the paper (Sections 2–3).
+enum class RecommenderType {
+  kPt = 0,    // PseudoTyped: entities seen in train.
+  kDbh,       // Degree-Based Heuristic: occurrence counts.
+  kDbhT,      // DBH + type propagation.
+  kOntoSim,   // All entities of any type observed for the slot.
+  kLwd,       // Linear WD (Algorithm 1).
+  kLwdT,      // L-WD with type columns appended to B.
+  kPie,       // Lightweight neural entity-typing model.
+};
+
+const char* RecommenderTypeName(RecommenderType type);
+Result<RecommenderType> ParseRecommenderType(const std::string& name);
+
+/// Output of fitting a relation recommender: the score matrix
+/// X in R^{|E| x 2|R|} (sparse; absent entries score 0 and are the "easy
+/// negatives"), plus its transpose for per-set access, and the fit time.
+struct RecommenderScores {
+  RecommenderType type = RecommenderType::kLwd;
+  /// Entity-major scores: row = entity, column = domain/range index
+  /// (domains [0, |R|), ranges [|R|, 2|R|)).
+  CsrMatrix scores;
+  /// Set-major transpose: row = domain/range index, columns = entities.
+  CsrMatrix by_set;
+  double fit_seconds = 0.0;
+
+  int32_t num_relations() const {
+    return static_cast<int32_t>(scores.cols() / 2);
+  }
+};
+
+/// A method assigning every entity a score of being a head or tail of every
+/// relation, using only the train split (and, for the type-aware variants,
+/// the published TypeStore).
+class RelationRecommender {
+ public:
+  virtual ~RelationRecommender() = default;
+
+  virtual RecommenderType type() const = 0;
+  const char* name() const { return RecommenderTypeName(type()); }
+
+  /// True if the method requires entity types to be present.
+  virtual bool requires_types() const { return false; }
+
+  /// Fits on dataset.train() and returns the score matrix. Must be
+  /// deterministic given the dataset and the recommender's own seed.
+  virtual Result<RecommenderScores> Fit(const Dataset& dataset) = 0;
+};
+
+/// Factory. `seed` only affects the stochastic methods (PIE).
+std::unique_ptr<RelationRecommender> CreateRecommender(RecommenderType type,
+                                                       uint64_t seed = 17);
+
+namespace internal {
+/// Finalizes a score matrix: builds the transpose and stamps metadata.
+RecommenderScores FinalizeScores(RecommenderType type, CsrMatrix scores,
+                                 double fit_seconds);
+}  // namespace internal
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_RECOMMENDERS_RECOMMENDER_H_

@@ -1,0 +1,84 @@
+#include "stats/hypergeometric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kgeval {
+namespace {
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+
+}  // namespace
+
+Hypergeometric::Hypergeometric(int64_t K, int64_t N, int64_t n)
+    : K_(K), N_(N), n_(n) {
+  KGEVAL_CHECK_GE(K, 0);
+  KGEVAL_CHECK_GE(N, K);
+  KGEVAL_CHECK_GE(n, 0);
+  KGEVAL_CHECK_GE(N, n);
+}
+
+double Hypergeometric::Mean() const {
+  if (N_ == 0) return 0.0;
+  return static_cast<double>(n_) * static_cast<double>(K_) /
+         static_cast<double>(N_);
+}
+
+double Hypergeometric::Variance() const {
+  if (N_ <= 1) return 0.0;
+  const double p = static_cast<double>(K_) / static_cast<double>(N_);
+  return static_cast<double>(n_) * p * (1.0 - p) *
+         static_cast<double>(N_ - n_) / static_cast<double>(N_ - 1);
+}
+
+double Hypergeometric::Pmf(int64_t k) const {
+  if (k < std::max<int64_t>(0, n_ + K_ - N_) || k > std::min(n_, K_)) {
+    return 0.0;
+  }
+  const double log_p = LogChoose(K_, k) + LogChoose(N_ - K_, n_ - k) -
+                       LogChoose(N_, n_);
+  return std::exp(log_p);
+}
+
+int64_t Hypergeometric::Sample(Rng* rng) const {
+  int64_t successes_left = K_;
+  int64_t population_left = N_;
+  int64_t hits = 0;
+  for (int64_t draw = 0; draw < n_; ++draw) {
+    const double p =
+        static_cast<double>(successes_left) / static_cast<double>(population_left);
+    if (rng->NextDouble() < p) {
+      ++hits;
+      --successes_left;
+    }
+    --population_left;
+  }
+  return hits;
+}
+
+double ExpectedHigherRanked(int64_t higher, int64_t pool, int64_t n_s) {
+  if (pool <= 0) return 0.0;
+  const int64_t draws = std::min(n_s, pool);
+  return static_cast<double>(draws) * static_cast<double>(higher) /
+         static_cast<double>(pool);
+}
+
+double Theorem1ExpectedGain(int64_t higher, int64_t num_entities,
+                            int64_t range_size, int64_t n_s) {
+  // E[X_u]: uniform sampling from all entities.
+  const double expected_uniform = ExpectedHigherRanked(higher, num_entities, n_s);
+  // E[X_RS]: sampling restricted to the range set (draws capped at its size).
+  const double expected_range = ExpectedHigherRanked(higher, range_size, n_s);
+  // Y = X_RS - X_u: how many more of the truly-higher-ranked entities the
+  // range-set sample observes (i.e., positions gained towards the true rank).
+  return expected_range - expected_uniform;
+}
+
+}  // namespace kgeval

@@ -1,0 +1,57 @@
+#ifndef KGEVAL_STATS_HYPERGEOMETRIC_H_
+#define KGEVAL_STATS_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace kgeval {
+
+/// Hypergeometric distribution H(K, N, n): number of "successes" when
+/// drawing n items without replacement from a population of N containing K
+/// successes. This is the distribution of the paper's X_u — the number of
+/// sampled entities outranking the true answer (Section 4, Eq. 1).
+class Hypergeometric {
+ public:
+  /// K = successes in population, N = population size, n = draws.
+  Hypergeometric(int64_t K, int64_t N, int64_t n);
+
+  /// E[X] = n * K / N.
+  double Mean() const;
+
+  /// Var[X] = n * (K/N) * (1 - K/N) * (N - n)/(N - 1).
+  double Variance() const;
+
+  /// P(X = k) computed in log space for stability.
+  double Pmf(int64_t k) const;
+
+  /// One draw: sequential simulation, O(n). Adequate for test workloads.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t successes() const { return K_; }
+  int64_t population() const { return N_; }
+  int64_t draws() const { return n_; }
+
+ private:
+  int64_t K_;
+  int64_t N_;
+  int64_t n_;
+};
+
+/// Expected number of entities outranking the true answer when sampling
+/// n_s entities uniformly from a pool of `pool` that contains `higher`
+/// entities ranked above it — the quantity compared by Theorem 1. The
+/// effective draw count is min(n_s, pool).
+double ExpectedHigherRanked(int64_t higher, int64_t pool, int64_t n_s);
+
+/// Theorem 1's expected gain E[Y] = E[X_u] - E[X_RS]: the expected number of
+/// positions gained (closer to the true rank) by sampling from a range set
+/// of size `range_size` rather than from all `num_entities` entities, for a
+/// query with `higher` entities ranked above the true answer. Non-negative
+/// whenever the range set contains all of them (the theorem's assumption).
+double Theorem1ExpectedGain(int64_t higher, int64_t num_entities,
+                            int64_t range_size, int64_t n_s);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_STATS_HYPERGEOMETRIC_H_

@@ -1,0 +1,82 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace kgeval {
+
+std::vector<int32_t> SampleWithoutReplacement(int64_t n, int64_t k, Rng* rng) {
+  KGEVAL_CHECK_GE(n, 0);
+  if (k >= n) {
+    std::vector<int32_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::vector<int32_t> out;
+  out.reserve(k);
+  std::unordered_set<int32_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  // Floyd's algorithm: for j in [n-k, n), draw t in [0, j]; take t unless
+  // already chosen, in which case take j.
+  for (int64_t j = n - k; j < n; ++j) {
+    const int32_t t = static_cast<int32_t>(rng->NextBounded(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(static_cast<int32_t>(j));
+      out.push_back(static_cast<int32_t>(j));
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> SampleFrom(const std::vector<int32_t>& population,
+                                int64_t k, Rng* rng) {
+  if (k >= static_cast<int64_t>(population.size())) return population;
+  std::vector<int32_t> idx =
+      SampleWithoutReplacement(static_cast<int64_t>(population.size()), k, rng);
+  std::vector<int32_t> out;
+  out.reserve(idx.size());
+  for (int32_t i : idx) out.push_back(population[i]);
+  return out;
+}
+
+std::vector<int32_t> WeightedSampleWithoutReplacement(
+    const std::vector<int32_t>& items, const std::vector<float>& weights,
+    int64_t k, Rng* rng) {
+  KGEVAL_CHECK_EQ(items.size(), weights.size());
+  if (k <= 0) return {};
+  // Efraimidis–Spirakis: key_i = u^(1/w_i); keep the k largest keys.
+  // Implemented with a min-heap of (key, index).
+  using HeapEntry = std::pair<double, int32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const double w = static_cast<double>(weights[i]);
+    if (w <= 0.0) continue;
+    double u = rng->NextDouble();
+    if (u <= 0.0) u = 1e-300;
+    const double key = std::log(u) / w;  // log-space u^(1/w) comparison.
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.emplace(key, items[i]);
+    } else if (key > heap.top().first) {
+      heap.pop();
+      heap.emplace(key, items[i]);
+    }
+  }
+  std::vector<int32_t> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().second);
+    heap.pop();
+  }
+  return out;
+}
+
+}  // namespace kgeval

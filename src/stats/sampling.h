@@ -1,0 +1,31 @@
+#ifndef KGEVAL_STATS_SAMPLING_H_
+#define KGEVAL_STATS_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace kgeval {
+
+/// Draws `k` distinct integers uniformly from [0, n) without replacement
+/// using Robert Floyd's algorithm (O(k) expected). If k >= n, returns all of
+/// [0, n). Output order is unspecified.
+std::vector<int32_t> SampleWithoutReplacement(int64_t n, int64_t k, Rng* rng);
+
+/// Draws `k` distinct indices from `population` (without replacement)
+/// uniformly. If k >= population size, returns the whole population.
+std::vector<int32_t> SampleFrom(const std::vector<int32_t>& population,
+                                int64_t k, Rng* rng);
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis A-Res): draws
+/// up to `k` items with inclusion probability increasing in `weights[i]`.
+/// Items with weight <= 0 are never drawn. Returns the selected indices into
+/// `items`/`weights` domain values, i.e., the values of `items`.
+std::vector<int32_t> WeightedSampleWithoutReplacement(
+    const std::vector<int32_t>& items, const std::vector<float>& weights,
+    int64_t k, Rng* rng);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_STATS_SAMPLING_H_

@@ -1,0 +1,145 @@
+#include "synth/config.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace kgeval {
+
+Status SynthConfig::Validate() const {
+  if (num_entities <= 0 || num_relations <= 0 || num_types <= 0) {
+    return Status::InvalidArgument("entity/relation/type counts must be > 0");
+  }
+  if (num_train <= 0 || num_valid < 0 || num_test < 0) {
+    return Status::InvalidArgument("split sizes invalid");
+  }
+  if (noise_rate < 0.0 || noise_rate >= 1.0) {
+    return Status::InvalidArgument("noise_rate must be in [0, 1)");
+  }
+  const double total = frac_mn + frac_1m + frac_m1 + frac_11;
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument(
+        StrFormat("cardinality fractions sum to %.4f, expected 1", total));
+  }
+  if (max_signature_types <= 0 || max_signature_types > num_types) {
+    return Status::InvalidArgument("max_signature_types out of range");
+  }
+  if (num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  // num_type_groups is clamped to num_types by the generator, so only the
+  // sign is validated here.
+  if (num_type_groups <= 0) {
+    return Status::InvalidArgument("num_type_groups must be positive");
+  }
+  if (cross_group_rate < 0.0 || cross_group_rate > 1.0) {
+    return Status::InvalidArgument("cross_group_rate must be in [0, 1]");
+  }
+  if (affinity_rate < 0.0 || affinity_rate > 1.0) {
+    return Status::InvalidArgument("affinity_rate must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> PresetNames() {
+  return {"fb15k",   "fb15k237", "yago310", "wikikg2",
+          "codex-s", "codex-m",  "codex-l"};
+}
+
+namespace {
+
+SynthConfig Base(const std::string& name, uint64_t seed) {
+  SynthConfig config;
+  config.name = name;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+Result<SynthConfig> GetPreset(const std::string& name, PresetScale scale) {
+  const bool paper = scale == PresetScale::kPaper;
+  // Paper-scale numbers follow Table 4; scaled numbers shrink |E| and the
+  // splits while preserving the triples-per-entity ratio, the |E|/|R|
+  // ordering across datasets, and each dataset's type richness.
+  if (name == "fb15k") {
+    SynthConfig c = Base(name, 101);
+    c.num_entities = paper ? 14505 : 3000;
+    c.num_relations = paper ? 1345 : 160;
+    c.num_types = paper ? 79 : 40;
+    c.num_train = paper ? 272115 : 56000;
+    c.num_valid = paper ? 20438 : 4000;
+    c.num_test = paper ? 17526 : 3600;
+    return c;
+  }
+  if (name == "fb15k237") {
+    SynthConfig c = Base(name, 102);
+    c.num_entities = paper ? 14505 : 3000;
+    c.num_relations = paper ? 237 : 60;
+    c.num_types = paper ? 79 : 40;
+    c.num_train = paper ? 272115 : 56000;
+    c.num_valid = paper ? 20438 : 4000;
+    c.num_test = paper ? 17526 : 3600;
+    return c;
+  }
+  if (name == "yago310") {
+    SynthConfig c = Base(name, 103);
+    c.num_entities = paper ? 123143 : 8000;
+    c.num_relations = 37;
+    c.num_types = paper ? 325 : 60;
+    c.num_train = paper ? 1079040 : 96000;
+    c.num_valid = paper ? 4982 : 1000;
+    c.num_test = paper ? 4978 : 1000;
+    // YAGO relations are broad: flatter popularity, more within-pool
+    // entropy than the Freebase-style presets.
+    c.entity_zipf = 1.1;
+    return c;
+  }
+  if (name == "wikikg2") {
+    SynthConfig c = Base(name, 104);
+    c.num_entities = paper ? 2500604 : 40000;
+    c.num_relations = paper ? 535 : 150;
+    c.num_types = paper ? 9322 : 300;
+    c.num_train = paper ? 16109182 : 320000;
+    c.num_valid = paper ? 429456 : 8000;
+    c.num_test = paper ? 598543 : 12000;
+    // Wikidata's type system is fine-grained: candidate sets are narrow
+    // relative to |E|, which is what makes random sampling so optimistic.
+    c.type_zipf = 0.4;
+    c.noise_rate = 0.002;
+    return c;
+  }
+  if (name == "codex-s") {
+    SynthConfig c = Base(name, 105);
+    c.num_entities = paper ? 2034 : 1500;
+    c.num_relations = 42;
+    c.num_types = 30;
+    c.num_train = paper ? 32888 : 24000;
+    c.num_valid = paper ? 1827 : 1400;
+    c.num_test = paper ? 1828 : 1400;
+    return c;
+  }
+  if (name == "codex-m") {
+    SynthConfig c = Base(name, 106);
+    c.num_entities = paper ? 17050 : 4000;
+    c.num_relations = 51;
+    c.num_types = paper ? 120 : 60;
+    c.num_train = paper ? 185584 : 44000;
+    c.num_valid = paper ? 10310 : 2400;
+    c.num_test = paper ? 10311 : 2400;
+    return c;
+  }
+  if (name == "codex-l") {
+    SynthConfig c = Base(name, 107);
+    c.num_entities = paper ? 77951 : 10000;
+    c.num_relations = 69;
+    c.num_types = paper ? 250 : 100;
+    c.num_train = paper ? 551193 : 80000;
+    c.num_valid = paper ? 30622 : 4400;
+    c.num_test = paper ? 30622 : 4400;
+    return c;
+  }
+  return Status::NotFound(StrFormat("unknown preset '%s'", name.c_str()));
+}
+
+}  // namespace kgeval

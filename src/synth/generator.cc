@@ -1,0 +1,344 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+namespace {
+
+struct U64Hash {
+  size_t operator()(uint64_t key) const {
+    key ^= key >> 33;
+    key *= 0xFF51AFD7ED558CCDULL;
+    key ^= key >> 33;
+    return static_cast<size_t>(key);
+  }
+};
+
+/// Group of a type: modulo assignment interleaves big and small types so
+/// every group gets a mix of popular and niche types.
+int32_t GroupOf(int32_t type, int32_t num_groups) {
+  return type % num_groups;
+}
+
+/// Samples `count` distinct types from one group, Zipf-weighted so that
+/// common types serve many relations (signature overlap within a group is
+/// what gives L-WD's co-occurrence graph its block structure).
+std::vector<int32_t> SampleSignatureInGroup(const ZipfSampler& type_sampler,
+                                            int32_t count, int32_t group,
+                                            int32_t num_groups, Rng* rng) {
+  std::vector<int32_t> out;
+  int guard = 0;
+  while (static_cast<int32_t>(out.size()) < count && guard++ < 2000) {
+    const int32_t t = static_cast<int32_t>(type_sampler.Sample(rng));
+    if (GroupOf(t, num_groups) != group) continue;
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Cardinality SampleCardinality(const SynthConfig& config, Rng* rng) {
+  const double u = rng->NextDouble();
+  if (u < config.frac_mn) return Cardinality::kManyMany;
+  if (u < config.frac_mn + config.frac_1m) return Cardinality::kOneMany;
+  if (u < config.frac_mn + config.frac_1m + config.frac_m1) {
+    return Cardinality::kManyOne;
+  }
+  return Cardinality::kOneOne;
+}
+
+}  // namespace
+
+Result<SynthOutput> GenerateDataset(const SynthConfig& config) {
+  KGEVAL_RETURN_NOT_OK(config.Validate());
+  Rng rng(config.seed);
+
+  const int32_t num_e = config.num_entities;
+  const int32_t num_r = config.num_relations;
+  const int32_t num_t = config.num_types;
+
+  // --- 1. Entity types (structural ground truth). -------------------------
+  const int32_t num_g = std::min(config.num_type_groups, num_t);
+  TypeStore true_types(num_e, num_t);
+  std::vector<int32_t> primary_type(num_e);
+  ZipfSampler type_sampler(num_t, config.type_zipf);
+  // Extra types stay inside the primary type's group (a film is also a
+  // creative work, not also a protein).
+  auto sample_type_in_group = [&](int32_t group) -> int32_t {
+    for (int guard = 0; guard < 200; ++guard) {
+      const int32_t t = static_cast<int32_t>(type_sampler.Sample(&rng));
+      if (GroupOf(t, num_g) == group) return t;
+    }
+    return -1;
+  };
+  for (int32_t e = 0; e < num_e; ++e) {
+    // Seed every type with at least one member, then Zipf for the rest.
+    const int32_t primary =
+        e < num_t ? e : static_cast<int32_t>(type_sampler.Sample(&rng));
+    primary_type[e] = primary;
+    true_types.Assign(e, primary);
+    const int32_t group = GroupOf(primary, num_g);
+    if (rng.NextDouble() < config.extra_type_prob) {
+      const int32_t extra = sample_type_in_group(group);
+      if (extra >= 0) true_types.Assign(e, extra);
+      if (rng.NextDouble() < config.extra_type_prob) {
+        const int32_t extra2 = sample_type_in_group(group);
+        if (extra2 >= 0) true_types.Assign(e, extra2);
+      }
+    }
+  }
+  true_types.Seal();
+
+  // --- 2. Relation signatures and pools. ----------------------------------
+  ZipfSampler signature_sampler(num_t, config.signature_zipf);
+  std::vector<RelationProfile> profiles(num_r);
+  std::vector<std::vector<int32_t>> domain_pool(num_r), range_pool(num_r);
+  for (int32_t r = 0; r < num_r; ++r) {
+    RelationProfile& profile = profiles[r];
+    // Domain group = group of a Zipf-sampled anchor type; the range stays in
+    // the same group unless this is a cross-group relation (person->place).
+    const int32_t domain_group = GroupOf(
+        static_cast<int32_t>(signature_sampler.Sample(&rng)), num_g);
+    int32_t range_group = domain_group;
+    if (rng.NextDouble() < config.cross_group_rate) {
+      range_group = GroupOf(
+          static_cast<int32_t>(signature_sampler.Sample(&rng)), num_g);
+    }
+    const int32_t sig =
+        1 + static_cast<int32_t>(
+                rng.NextBounded(config.max_signature_types));
+    profile.domain_types = SampleSignatureInGroup(signature_sampler, sig,
+                                                  domain_group, num_g, &rng);
+    const int32_t sig2 =
+        1 + static_cast<int32_t>(
+                rng.NextBounded(config.max_signature_types));
+    profile.range_types = SampleSignatureInGroup(signature_sampler, sig2,
+                                                 range_group, num_g, &rng);
+    profile.cardinality = SampleCardinality(config, &rng);
+
+    auto build_pool = [&](const std::vector<int32_t>& types) {
+      std::vector<int32_t> pool;
+      for (int32_t t : types) {
+        const auto& members = true_types.EntitiesOf(t);
+        pool.insert(pool.end(), members.begin(), members.end());
+      }
+      std::sort(pool.begin(), pool.end());
+      pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      return pool;
+    };
+    domain_pool[r] = build_pool(profile.domain_types);
+    range_pool[r] = build_pool(profile.range_types);
+  }
+
+  // Cache Zipf samplers by pool size (entity popularity within a pool).
+  std::map<size_t, ZipfSampler> pool_samplers;
+  auto sample_pool = [&](const std::vector<int32_t>& pool) -> int32_t {
+    auto it = pool_samplers.find(pool.size());
+    if (it == pool_samplers.end()) {
+      it = pool_samplers
+               .emplace(pool.size(), ZipfSampler(pool.size(), config.entity_zipf))
+               .first;
+    }
+    return pool[it->second.Sample(&rng)];
+  };
+
+  // Latent affinity structure (see SynthConfig): entity clusters, a per-
+  // relation head-cluster -> tail-cluster map, and per-(relation, cluster)
+  // range sub-pools.
+  const int32_t num_c = config.num_clusters;
+  std::vector<int32_t> cluster(num_e);
+  for (int32_t e = 0; e < num_e; ++e) {
+    cluster[e] = static_cast<int32_t>(rng.NextBounded(num_c));
+  }
+  std::vector<std::vector<int32_t>> cluster_map(num_r);
+  std::vector<std::vector<std::vector<int32_t>>> range_by_cluster(num_r);
+  for (int32_t r = 0; r < num_r; ++r) {
+    cluster_map[r].resize(num_c);
+    for (int32_t c = 0; c < num_c; ++c) {
+      cluster_map[r][c] = static_cast<int32_t>(rng.NextBounded(num_c));
+    }
+    range_by_cluster[r].resize(num_c);
+    for (int32_t e : range_pool[r]) {
+      range_by_cluster[r][cluster[e]].push_back(e);
+    }
+  }
+
+  // --- 3. Triples. ---------------------------------------------------------
+  const int64_t target =
+      config.num_train + config.num_valid + config.num_test;
+  ZipfSampler relation_sampler(num_r, config.relation_zipf);
+
+  std::unordered_set<Triple, TripleHash> seen;
+  seen.reserve(static_cast<size_t>(target) * 2);
+  std::vector<Triple> triples;
+  triples.reserve(target);
+  std::vector<bool> is_noise;
+  is_noise.reserve(target);
+  // Cardinality bookkeeping: heads/tails already used per relation.
+  std::vector<std::unordered_set<int32_t>> used_heads(num_r), used_tails(num_r);
+
+  int64_t attempts = 0;
+  const int64_t max_attempts = 60 * target;
+  while (static_cast<int64_t>(triples.size()) < target &&
+         attempts++ < max_attempts) {
+    const int32_t r = static_cast<int32_t>(relation_sampler.Sample(&rng));
+    if (domain_pool[r].empty() || range_pool[r].empty()) continue;
+    int32_t h = sample_pool(domain_pool[r]);
+    int32_t t;
+    const std::vector<int32_t>& affine_pool =
+        range_by_cluster[r][cluster_map[r][cluster[h]]];
+    if (!affine_pool.empty() && rng.NextDouble() < config.affinity_rate) {
+      t = sample_pool(affine_pool);
+    } else {
+      t = sample_pool(range_pool[r]);
+    }
+    bool noisy = false;
+    if (rng.NextDouble() < config.noise_rate) {
+      noisy = true;
+      // Replace one side with a uniformly random entity (any type): the
+      // classic KG construction error that later shows up as a "false easy
+      // negative" for a recommender that trusts the type structure.
+      if (rng.NextBounded(2) == 0) {
+        h = static_cast<int32_t>(rng.NextBounded(num_e));
+      } else {
+        t = static_cast<int32_t>(rng.NextBounded(num_e));
+      }
+    }
+    if (h == t) continue;
+    const Cardinality card = profiles[r].cardinality;
+    const bool head_unique = card == Cardinality::kManyOne ||
+                             card == Cardinality::kOneOne;
+    const bool tail_unique = card == Cardinality::kOneMany ||
+                             card == Cardinality::kOneOne;
+    if (head_unique && used_heads[r].count(h) > 0) continue;
+    if (tail_unique && used_tails[r].count(t) > 0) continue;
+    const Triple triple{h, r, t};
+    if (!seen.insert(triple).second) continue;
+    if (head_unique) used_heads[r].insert(h);
+    if (tail_unique) used_tails[r].insert(t);
+    triples.push_back(triple);
+    is_noise.push_back(noisy);
+  }
+
+  double shrink = 1.0;
+  if (static_cast<int64_t>(triples.size()) < target) {
+    shrink = static_cast<double>(triples.size()) / static_cast<double>(target);
+    KGEVAL_LOG(Warning) << "generator produced "
+                        << triples.size() << "/" << target
+                        << " triples; shrinking splits proportionally";
+  }
+  const int64_t n_total = static_cast<int64_t>(triples.size());
+  int64_t n_valid = static_cast<int64_t>(config.num_valid * shrink);
+  int64_t n_test = static_cast<int64_t>(config.num_test * shrink);
+
+  // Shuffle (keeping the noise flags aligned), then carve valid/test off the
+  // end subject to the standard KGC constraint that every entity/relation in
+  // valid/test also occurs in train.
+  {
+    std::vector<size_t> perm(n_total);
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    rng.Shuffle(&perm);
+    std::vector<Triple> shuffled(n_total);
+    std::vector<bool> shuffled_noise(n_total);
+    for (int64_t i = 0; i < n_total; ++i) {
+      shuffled[i] = triples[perm[i]];
+      shuffled_noise[i] = is_noise[perm[i]];
+    }
+    triples.swap(shuffled);
+    is_noise = std::move(shuffled_noise);
+  }
+
+  std::vector<int64_t> entity_left(num_e, 0);
+  std::vector<int64_t> relation_left(num_r, 0);
+  for (const Triple& t : triples) {
+    ++entity_left[t.head];
+    ++entity_left[t.tail];
+    ++relation_left[t.relation];
+  }
+  std::vector<Triple> train, valid, test;
+  std::vector<bool> test_noise_flags;
+  train.reserve(n_total);
+  valid.reserve(n_valid);
+  test.reserve(n_test);
+  // Walk from the back; a triple may leave train only if every element still
+  // occurs at least once among the triples that remain in train.
+  for (int64_t i = n_total - 1; i >= 0; --i) {
+    const Triple& t = triples[i];
+    const bool removable = entity_left[t.head] > 1 &&
+                           entity_left[t.tail] > 1 &&
+                           relation_left[t.relation] > 1;
+    bool placed = false;
+    if (removable) {
+      if (static_cast<int64_t>(test.size()) < n_test) {
+        test.push_back(t);
+        test_noise_flags.push_back(is_noise[i]);
+        placed = true;
+      } else if (static_cast<int64_t>(valid.size()) < n_valid) {
+        valid.push_back(t);
+        placed = true;
+      }
+    }
+    if (placed) {
+      --entity_left[t.head];
+      --entity_left[t.tail];
+      --relation_left[t.relation];
+    } else {
+      train.push_back(t);
+    }
+  }
+  std::reverse(train.begin(), train.end());
+
+  std::vector<int64_t> noisy_test_indices;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (test_noise_flags[i]) {
+      noisy_test_indices.push_back(static_cast<int64_t>(i));
+    }
+  }
+
+  // --- 4. Published TypeStore (with metadata noise). -----------------------
+  TypeStore published(num_e, num_t);
+  for (int32_t e = 0; e < num_e; ++e) {
+    for (int32_t t : true_types.TypesOf(e)) {
+      if (rng.NextDouble() < config.type_missing_rate) continue;
+      published.Assign(e, t);
+    }
+    if (rng.NextDouble() < config.type_spurious_rate) {
+      published.Assign(e, static_cast<int32_t>(rng.NextBounded(num_t)));
+    }
+    // Entities must keep at least one type so type-based recommenders have
+    // something to work with (matches how instanceOf data is curated).
+    if (published.TypesOf(e).empty()) {
+      published.Assign(e, primary_type[e]);
+    }
+  }
+  published.Seal();
+
+  // --- 5. Labels for qualitative output. ----------------------------------
+  std::vector<std::string> entity_labels(num_e);
+  for (int32_t e = 0; e < num_e; ++e) {
+    entity_labels[e] = StrFormat("T%d_E%d", primary_type[e], e);
+  }
+  std::vector<std::string> relation_labels(num_r);
+  for (int32_t r = 0; r < num_r; ++r) {
+    relation_labels[r] =
+        StrFormat("rel%d_d%d_r%d", r, profiles[r].domain_types[0],
+                  profiles[r].range_types[0]);
+  }
+
+  SynthOutput out{Dataset(config.name, num_e, num_r, std::move(train),
+                          std::move(valid), std::move(test),
+                          std::move(published)),
+                  std::move(profiles), std::move(true_types),
+                  std::move(noisy_test_indices)};
+  out.dataset.set_entity_labels(std::move(entity_labels));
+  out.dataset.set_relation_labels(std::move(relation_labels));
+  return out;
+}
+
+}  // namespace kgeval

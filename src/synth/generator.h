@@ -1,0 +1,44 @@
+#ifndef KGEVAL_SYNTH_GENERATOR_H_
+#define KGEVAL_SYNTH_GENERATOR_H_
+
+#include "graph/dataset.h"
+#include "synth/config.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// Cardinality class of a relation (Section 2's 1-1 / 1-M / M-1 discussion:
+/// PT-style candidate generation fails exactly on the classes where an
+/// entity participates at most once).
+enum class Cardinality { kManyMany = 0, kOneMany = 1, kManyOne = 2, kOneOne = 3 };
+
+/// The generator's ground truth about one relation, exposed for tests and
+/// for the oracle "ontology" experiments.
+struct RelationProfile {
+  std::vector<int32_t> domain_types;
+  std::vector<int32_t> range_types;
+  Cardinality cardinality = Cardinality::kManyMany;
+};
+
+/// A generated dataset plus the latent ground truth it was sampled from.
+struct SynthOutput {
+  Dataset dataset;
+  /// Per-relation latent signatures (index = relation id).
+  std::vector<RelationProfile> profiles;
+  /// Structurally true (entity, type) assignments *before* the
+  /// missing/spurious noise was applied to the published TypeStore.
+  TypeStore true_types;
+  /// Indices into dataset.test() of noise (type-violating) triples — the
+  /// ground truth behind the paper's "false easy negatives" analysis.
+  std::vector<int64_t> noisy_test_indices;
+};
+
+/// Samples a complete typed KG per `config`. Deterministic given
+/// config.seed. Fails on invalid configs; logs a warning and shrinks the
+/// splits proportionally if cardinality constraints make the requested
+/// triple count unreachable.
+Result<SynthOutput> GenerateDataset(const SynthConfig& config);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_SYNTH_GENERATOR_H_

@@ -1,0 +1,74 @@
+#ifndef KGEVAL_UTIL_RNG_H_
+#define KGEVAL_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kgeval {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Used everywhere instead of std::mt19937 so that results are
+/// bit-identical across platforms and standard-library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless method.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (caches the second value).
+  double NextGaussian();
+
+  /// Forks an independent stream; child streams are decorrelated from the
+  /// parent regardless of how many values the parent draws afterwards.
+  Rng Fork();
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed integer sampler over {0, ..., n-1} with exponent `s`
+/// (probability of rank k proportional to 1/(k+1)^s). Precomputes the CDF;
+/// sampling is O(log n) via binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws one value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_UTIL_RNG_H_

@@ -1,0 +1,28 @@
+#ifndef KGEVAL_UTIL_STRING_UTIL_H_
+#define KGEVAL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgeval {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep` (single char); keeps empty fields.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Formats a double with `digits` significant fraction digits, trimming to a
+/// compact human-readable form (used by the table printer).
+std::string FormatDouble(double value, int digits = 3);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string FormatWithCommas(long long value);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_UTIL_STRING_UTIL_H_

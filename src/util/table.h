@@ -1,0 +1,37 @@
+#ifndef KGEVAL_UTIL_TABLE_H_
+#define KGEVAL_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kgeval {
+
+/// Minimal aligned-text table used by the bench harness to print the paper's
+/// tables. Cells are strings; columns are padded to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void AddSeparator();
+
+  /// Renders to a string with a header rule and column padding.
+  std::string ToString() const;
+
+  /// Renders as CSV (no padding, comma-separated, quotes when needed).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;  // Row indices that get a rule above them.
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_UTIL_TABLE_H_

@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace kgeval {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool* GlobalThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk) {
+  if (begin >= end) return;
+  ThreadPool* pool = GlobalThreadPool();
+  const size_t n = end - begin;
+  const size_t max_chunks = pool->num_threads() * 4;
+  size_t chunk = std::max(min_chunk, (n + max_chunks - 1) / max_chunks);
+  if (pool->num_threads() <= 1 || n <= min_chunk) {
+    fn(begin, end);
+    return;
+  }
+  // Per-call completion latch so concurrent ParallelFor calls (or other
+  // Submit users) never wait on each other's tasks.
+  struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    size_t pending = 0;
+  } latch;
+  for (size_t lo = begin; lo < end; lo += chunk) ++latch.pending;
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = std::min(end, lo + chunk);
+    pool->Submit([&fn, &latch, lo, hi] {
+      fn(lo, hi);
+      std::unique_lock<std::mutex> lock(latch.m);
+      if (--latch.pending == 0) latch.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.m);
+  latch.cv.wait(lock, [&latch] { return latch.pending == 0; });
+}
+
+}  // namespace kgeval

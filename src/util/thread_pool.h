@@ -1,0 +1,59 @@
+#ifndef KGEVAL_UTIL_THREAD_POOL_H_
+#define KGEVAL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kgeval {
+
+/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until the
+/// queue drains and all in-flight tasks finish. Construction is cheap enough
+/// to create one per phase, but most callers use GlobalThreadPool().
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide pool, lazily created, never destroyed (leaked on purpose so
+/// static-destruction order is a non-issue).
+ThreadPool* GlobalThreadPool();
+
+/// Splits [begin, end) into contiguous chunks and runs
+/// `fn(chunk_begin, chunk_end)` on the global pool. Blocks until done.
+/// Runs inline when the range is small or the pool has one thread.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk = 256);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_UTIL_THREAD_POOL_H_

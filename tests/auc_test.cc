@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "eval/auc.h"
+#include "models/trainer.h"
+#include "recommenders/recommender.h"
+#include "core/candidate_sets.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+
+namespace kgeval {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  const AucResult r = ComputeAuc({3.0f, 4.0f, 5.0f}, {0.0f, 1.0f, 2.0f});
+  EXPECT_DOUBLE_EQ(r.roc_auc, 1.0);
+  EXPECT_DOUBLE_EQ(r.pr_auc, 1.0);
+}
+
+TEST(AucTest, PerfectInversion) {
+  const AucResult r = ComputeAuc({0.0f, 1.0f}, {2.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(r.roc_auc, 0.0);
+  EXPECT_LT(r.pr_auc, 0.6);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  const AucResult r = ComputeAuc({1.0f, 1.0f}, {1.0f, 1.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(r.roc_auc, 0.5);
+}
+
+TEST(AucTest, HandComputedMix) {
+  // pos = {3, 1}, neg = {2, 0}. Pairs: (3>2),(3>0),(1<2),(1>0) -> 3/4.
+  const AucResult r = ComputeAuc({3.0f, 1.0f}, {2.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(r.roc_auc, 0.75);
+}
+
+TEST(AucTest, EmptyInputsGiveZero) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {1.0f}).roc_auc, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeAuc({1.0f}, {}).roc_auc, 0.0);
+}
+
+TEST(AucTest, RocAucMatchesBruteForce) {
+  Rng rng(9);
+  std::vector<float> pos, neg;
+  for (int i = 0; i < 200; ++i) {
+    pos.push_back(static_cast<float>(rng.NextGaussian()) + 0.5f);
+    neg.push_back(static_cast<float>(rng.NextGaussian()));
+  }
+  double wins = 0.0;
+  for (float p : pos) {
+    for (float n : neg) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  const double brute = wins / (pos.size() * neg.size());
+  EXPECT_NEAR(ComputeAuc(pos, neg).roc_auc, brute, 1e-9);
+}
+
+class TripleAucFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthConfig config;
+    config.num_entities = 600;
+    config.num_relations = 14;
+    config.num_types = 12;
+    config.num_train = 8000;
+    config.num_valid = 400;
+    config.num_test = 400;
+    config.seed = 88;
+    dataset_ = new Dataset(GenerateDataset(config).ValueOrDie().dataset);
+    ModelOptions options;
+    options.dim = 24;
+    options.adam.learning_rate = 3e-3f;
+    auto model = CreateModel(ModelType::kComplEx, dataset_->num_entities(),
+                             dataset_->num_relations(), options)
+                     .ValueOrDie();
+    TrainerOptions trainer_options;
+    trainer_options.epochs = 8;
+    Trainer trainer(dataset_, trainer_options);
+    ASSERT_TRUE(trainer.Train(model.get()).ok());
+    model_ = model.release();
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+  }
+  static Dataset* dataset_;
+  static KgeModel* model_;
+};
+
+Dataset* TripleAucFixture::dataset_ = nullptr;
+KgeModel* TripleAucFixture::model_ = nullptr;
+
+TEST_F(TripleAucFixture, UniformNegativesAreNearlySolved) {
+  // The CoDEx observation (Section 2): classification against random
+  // negatives is easy for a trained model.
+  const AucResult r = ComputeTripleClassificationAuc(
+      *model_, *dataset_, Split::kTest, TripleAucOptions{});
+  EXPECT_GT(r.roc_auc, 0.8);
+}
+
+TEST_F(TripleAucFixture, HardNegativesAreHarder) {
+  const AucResult uniform = ComputeTripleClassificationAuc(
+      *model_, *dataset_, Split::kTest, TripleAucOptions{});
+  // Hard negatives from the recommender's range pools.
+  const RecommenderScores scores =
+      CreateRecommender(RecommenderType::kLwd)->Fit(*dataset_).ValueOrDie();
+  const CandidateSets sets = BuildProbabilisticSets(scores, *dataset_);
+  const AucResult hard = ComputeTripleClassificationAuc(
+      *model_, *dataset_, Split::kTest, TripleAucOptions{}, &sets.sets);
+  EXPECT_LT(hard.roc_auc, uniform.roc_auc);
+  EXPECT_GT(hard.roc_auc, 0.4);  // Still informative, not broken.
+}
+
+TEST_F(TripleAucFixture, DeterministicGivenSeed) {
+  const AucResult a = ComputeTripleClassificationAuc(
+      *model_, *dataset_, Split::kTest, TripleAucOptions{});
+  const AucResult b = ComputeTripleClassificationAuc(
+      *model_, *dataset_, Split::kTest, TripleAucOptions{});
+  EXPECT_DOUBLE_EQ(a.roc_auc, b.roc_auc);
+  EXPECT_DOUBLE_EQ(a.pr_auc, b.pr_auc);
+}
+
+TEST_F(TripleAucFixture, CountsMatchOptions) {
+  TripleAucOptions options;
+  options.max_triples = 100;
+  options.negatives_per_positive = 3;
+  const AucResult r = ComputeTripleClassificationAuc(
+      *model_, *dataset_, Split::kTest, options);
+  EXPECT_EQ(r.num_positives, 100);
+  EXPECT_EQ(r.num_negatives, 300);
+}
+
+}  // namespace
+}  // namespace kgeval

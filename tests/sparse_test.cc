@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/csr.h"
+#include "util/rng.h"
+
+namespace kgeval {
+namespace {
+
+// Dense reference helpers -----------------------------------------------------
+
+std::vector<std::vector<float>> ToDense(const CsrMatrix& m) {
+  std::vector<std::vector<float>> dense(
+      m.rows(), std::vector<float>(m.cols(), 0.0f));
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t k = m.RowBegin(r); k < m.RowEnd(r); ++k) {
+      dense[r][m.col_idx()[k]] += m.values()[k];
+    }
+  }
+  return dense;
+}
+
+CsrMatrix RandomSparse(int64_t rows, int64_t cols, double density,
+                       Rng* rng) {
+  CooBuilder builder(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng->NextDouble() < density) {
+        builder.Add(r, c, static_cast<float>(rng->NextUniform(0.1, 2.0)));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+TEST(CooBuilderTest, BuildsSortedRows) {
+  CooBuilder builder(3, 4);
+  builder.Add(2, 3, 1.0f);
+  builder.Add(0, 1, 2.0f);
+  builder.Add(2, 0, 3.0f);
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.RowNnz(0), 1);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_EQ(m.RowNnz(2), 2);
+  // Columns sorted within row 2.
+  EXPECT_EQ(m.col_idx()[m.RowBegin(2)], 0);
+  EXPECT_EQ(m.col_idx()[m.RowBegin(2) + 1], 3);
+}
+
+TEST(CooBuilderTest, SumsDuplicates) {
+  CooBuilder builder(2, 2);
+  builder.Add(1, 1, 1.5f);
+  builder.Add(1, 1, 2.5f);
+  builder.Add(1, 1, 1.0f);
+  CsrMatrix m = builder.Build();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 5.0f);
+}
+
+TEST(CsrMatrixTest, AtReturnsZeroForAbsent) {
+  CooBuilder builder(2, 3);
+  builder.Add(0, 2, 7.0f);
+  CsrMatrix m = builder.Build();
+  EXPECT_FLOAT_EQ(m.At(0, 2), 7.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 0.0f);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrMatrixTest, NormalizeRowsMakesRowSumsOne) {
+  Rng rng(4);
+  CsrMatrix m = RandomSparse(20, 30, 0.2, &rng);
+  m.NormalizeRows();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    if (m.RowNnz(r) == 0) continue;
+    EXPECT_NEAR(m.RowSum(r), 1.0, 1e-5);
+  }
+}
+
+TEST(CsrMatrixTest, NormalizeRowsLeavesEmptyRows) {
+  CooBuilder builder(3, 3);
+  builder.Add(0, 0, 4.0f);
+  CsrMatrix m = builder.Build();
+  m.NormalizeRows();
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_EQ(m.RowNnz(1), 0);
+}
+
+TEST(CsrMatrixTest, TransposeMatchesDense) {
+  Rng rng(9);
+  CsrMatrix m = RandomSparse(13, 7, 0.3, &rng);
+  CsrMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), m.cols());
+  EXPECT_EQ(t.cols(), m.rows());
+  EXPECT_EQ(t.nnz(), m.nnz());
+  const auto dense = ToDense(m);
+  const auto dense_t = ToDense(t);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      EXPECT_FLOAT_EQ(dense[r][c], dense_t[c][r]);
+    }
+  }
+}
+
+TEST(CsrMatrixTest, TransposeTwiceIsIdentity) {
+  Rng rng(10);
+  CsrMatrix m = RandomSparse(9, 11, 0.25, &rng);
+  CsrMatrix tt = m.Transpose().Transpose();
+  const auto a = ToDense(m);
+  const auto b = ToDense(tt);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SpGemmTest, MatchesDenseReference) {
+  Rng rng(21);
+  CsrMatrix a = RandomSparse(8, 12, 0.3, &rng);
+  CsrMatrix b = RandomSparse(12, 6, 0.3, &rng);
+  CsrMatrix c = SpGemm(a, b);
+  const auto da = ToDense(a);
+  const auto db = ToDense(b);
+  const auto dc = ToDense(c);
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      float expected = 0.0f;
+      for (int64_t k = 0; k < 12; ++k) expected += da[i][k] * db[k][j];
+      EXPECT_NEAR(dc[i][j], expected, 1e-4) << "at " << i << "," << j;
+    }
+  }
+}
+
+TEST(SpGemmTest, IdentityIsNeutral) {
+  Rng rng(22);
+  CsrMatrix a = RandomSparse(10, 10, 0.3, &rng);
+  CooBuilder eye_builder(10, 10);
+  for (int i = 0; i < 10; ++i) eye_builder.Add(i, i, 1.0f);
+  CsrMatrix eye = eye_builder.Build();
+  CsrMatrix product = SpGemm(a, eye);
+  EXPECT_EQ(ToDense(product), ToDense(a));
+}
+
+TEST(SpGemmTest, LargeRandomAgainstDense) {
+  Rng rng(23);
+  CsrMatrix a = RandomSparse(120, 80, 0.05, &rng);
+  CsrMatrix b = RandomSparse(80, 60, 0.05, &rng);
+  CsrMatrix c = SpGemm(a, b);
+  const auto da = ToDense(a);
+  const auto db = ToDense(b);
+  const auto dc = ToDense(c);
+  double max_err = 0.0;
+  for (int64_t i = 0; i < 120; ++i) {
+    for (int64_t j = 0; j < 60; ++j) {
+      float expected = 0.0f;
+      for (int64_t k = 0; k < 80; ++k) expected += da[i][k] * db[k][j];
+      max_err = std::max(max_err,
+                         static_cast<double>(std::fabs(dc[i][j] - expected)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-4);
+}
+
+TEST(SpGemmTest, GramMatrixIsSymmetric) {
+  Rng rng(24);
+  CsrMatrix b = RandomSparse(40, 15, 0.2, &rng);
+  CsrMatrix gram = SpGemm(b.Transpose(), b);  // The L-WD W matrix.
+  const auto dense = ToDense(gram);
+  for (int64_t i = 0; i < gram.rows(); ++i) {
+    for (int64_t j = 0; j < gram.cols(); ++j) {
+      EXPECT_NEAR(dense[i][j], dense[j][i], 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgeval

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "synth/config.h"
+#include "synth/generator.h"
+
+namespace kgeval {
+namespace {
+
+SynthConfig SmallConfig() {
+  SynthConfig config;
+  config.name = "unit";
+  config.num_entities = 400;
+  config.num_relations = 12;
+  config.num_types = 10;
+  config.num_train = 5000;
+  config.num_valid = 400;
+  config.num_test = 400;
+  config.seed = 321;
+  return config;
+}
+
+TEST(SynthConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(SynthConfig().Validate().ok());
+}
+
+TEST(SynthConfigTest, RejectsBadCounts) {
+  SynthConfig config;
+  config.num_entities = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SynthConfigTest, RejectsBadCardinalityMix) {
+  SynthConfig config;
+  config.frac_mn = 0.9;  // Sums to 1.3 with the other defaults.
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SynthConfigTest, RejectsBadNoise) {
+  SynthConfig config;
+  config.noise_rate = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(PresetTest, AllNamesResolve) {
+  for (const std::string& name : PresetNames()) {
+    for (PresetScale scale : {PresetScale::kScaled, PresetScale::kPaper}) {
+      auto preset = GetPreset(name, scale);
+      ASSERT_TRUE(preset.ok()) << name;
+      EXPECT_TRUE(preset.ValueOrDie().Validate().ok()) << name;
+    }
+  }
+}
+
+TEST(PresetTest, UnknownNameErrors) {
+  EXPECT_EQ(GetPreset("fb16k", PresetScale::kScaled).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PresetTest, PaperScaleMatchesTable4) {
+  const SynthConfig wiki =
+      GetPreset("wikikg2", PresetScale::kPaper).ValueOrDie();
+  EXPECT_EQ(wiki.num_entities, 2500604);
+  EXPECT_EQ(wiki.num_relations, 535);
+  const SynthConfig codexl =
+      GetPreset("codex-l", PresetScale::kPaper).ValueOrDie();
+  EXPECT_EQ(codexl.num_entities, 77951);
+  EXPECT_EQ(codexl.num_relations, 69);
+}
+
+TEST(PresetTest, ScaledPreservesSizeOrdering) {
+  auto entities = [](const std::string& name) {
+    return GetPreset(name, PresetScale::kScaled).ValueOrDie().num_entities;
+  };
+  EXPECT_LT(entities("codex-s"), entities("codex-m"));
+  EXPECT_LT(entities("codex-m"), entities("codex-l"));
+  EXPECT_LT(entities("codex-l"), entities("wikikg2"));
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    output_ = new SynthOutput(
+        GenerateDataset(SmallConfig()).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete output_;
+    output_ = nullptr;
+  }
+  static SynthOutput* output_;
+};
+
+SynthOutput* GeneratorTest::output_ = nullptr;
+
+TEST_F(GeneratorTest, SplitSizesMatchConfig) {
+  const Dataset& d = output_->dataset;
+  EXPECT_EQ(d.valid().size(), 400u);
+  EXPECT_EQ(d.test().size(), 400u);
+  EXPECT_EQ(d.train().size() + d.valid().size() + d.test().size(), 5800u);
+}
+
+TEST_F(GeneratorTest, IdsInRange) {
+  const Dataset& d = output_->dataset;
+  for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Triple& t : d.split(s)) {
+      EXPECT_GE(t.head, 0);
+      EXPECT_LT(t.head, d.num_entities());
+      EXPECT_GE(t.tail, 0);
+      EXPECT_LT(t.tail, d.num_entities());
+      EXPECT_GE(t.relation, 0);
+      EXPECT_LT(t.relation, d.num_relations());
+      EXPECT_NE(t.head, t.tail);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, NoDuplicateTriples) {
+  const Dataset& d = output_->dataset;
+  std::unordered_set<Triple, TripleHash> seen;
+  size_t total = 0;
+  for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Triple& t : d.split(s)) {
+      seen.insert(t);
+      ++total;
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST_F(GeneratorTest, EvalEntitiesAppearInTrain) {
+  // The standard KGC guarantee: every entity/relation in valid/test occurs
+  // in train (otherwise embeddings would be untrained).
+  const Dataset& d = output_->dataset;
+  std::unordered_set<int32_t> train_entities, train_relations;
+  for (const Triple& t : d.train()) {
+    train_entities.insert(t.head);
+    train_entities.insert(t.tail);
+    train_relations.insert(t.relation);
+  }
+  for (Split s : {Split::kValid, Split::kTest}) {
+    for (const Triple& t : d.split(s)) {
+      EXPECT_TRUE(train_entities.count(t.head)) << "head " << t.head;
+      EXPECT_TRUE(train_entities.count(t.tail)) << "tail " << t.tail;
+      EXPECT_TRUE(train_relations.count(t.relation));
+    }
+  }
+}
+
+TEST_F(GeneratorTest, CardinalityConstraintsHold) {
+  const Dataset& d = output_->dataset;
+  for (int32_t r = 0; r < d.num_relations(); ++r) {
+    const Cardinality card = output_->profiles[r].cardinality;
+    std::unordered_map<int32_t, int> head_counts, tail_counts;
+    for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+      for (const Triple& t : d.split(s)) {
+        if (t.relation != r) continue;
+        ++head_counts[t.head];
+        ++tail_counts[t.tail];
+      }
+    }
+    if (card == Cardinality::kManyOne || card == Cardinality::kOneOne) {
+      for (const auto& [head, count] : head_counts) {
+        EXPECT_EQ(count, 1) << "head-unique violated for relation " << r;
+      }
+    }
+    if (card == Cardinality::kOneMany || card == Cardinality::kOneOne) {
+      for (const auto& [tail, count] : tail_counts) {
+        EXPECT_EQ(count, 1) << "tail-unique violated for relation " << r;
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, EveryEntityHasAPublishedType) {
+  const Dataset& d = output_->dataset;
+  for (int32_t e = 0; e < d.num_entities(); ++e) {
+    EXPECT_FALSE(d.types().TypesOf(e).empty()) << "entity " << e;
+  }
+}
+
+TEST_F(GeneratorTest, NonNoiseTriplesRespectSignatures) {
+  // Every test triple that is not flagged as noise must have a head whose
+  // *true* types intersect the relation's domain signature (and likewise
+  // for tails).
+  const Dataset& d = output_->dataset;
+  std::unordered_set<int64_t> noisy(output_->noisy_test_indices.begin(),
+                                    output_->noisy_test_indices.end());
+  for (size_t i = 0; i < d.test().size(); ++i) {
+    if (noisy.count(static_cast<int64_t>(i))) continue;
+    const Triple& t = d.test()[i];
+    const RelationProfile& profile = output_->profiles[t.relation];
+    bool head_ok = false;
+    for (int32_t type : profile.domain_types) {
+      if (output_->true_types.HasType(t.head, type)) head_ok = true;
+    }
+    bool tail_ok = false;
+    for (int32_t type : profile.range_types) {
+      if (output_->true_types.HasType(t.tail, type)) tail_ok = true;
+    }
+    EXPECT_TRUE(head_ok) << "test triple " << i;
+    EXPECT_TRUE(tail_ok) << "test triple " << i;
+  }
+}
+
+TEST_F(GeneratorTest, LabelsAttached) {
+  const Dataset& d = output_->dataset;
+  EXPECT_EQ(d.entity_labels().size(),
+            static_cast<size_t>(d.num_entities()));
+  EXPECT_EQ(d.relation_labels().size(),
+            static_cast<size_t>(d.num_relations()));
+  EXPECT_NE(d.EntityLabel(0).find("E0"), std::string::npos);
+}
+
+TEST(GeneratorDeterminismTest, SameSeedSameData) {
+  SynthConfig config = SmallConfig();
+  SynthOutput a = GenerateDataset(config).ValueOrDie();
+  SynthOutput b = GenerateDataset(config).ValueOrDie();
+  ASSERT_EQ(a.dataset.train().size(), b.dataset.train().size());
+  for (size_t i = 0; i < a.dataset.train().size(); ++i) {
+    EXPECT_EQ(a.dataset.train()[i], b.dataset.train()[i]);
+  }
+  EXPECT_EQ(a.noisy_test_indices, b.noisy_test_indices);
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedDifferentData) {
+  SynthConfig config = SmallConfig();
+  SynthOutput a = GenerateDataset(config).ValueOrDie();
+  config.seed = 9999;
+  SynthOutput b = GenerateDataset(config).ValueOrDie();
+  int differences = 0;
+  const size_t n = std::min(a.dataset.train().size(),
+                            b.dataset.train().size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a.dataset.train()[i] == b.dataset.train()[i])) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(GeneratorNoiseTest, NoiseRateControlsFalseEasyNegatives) {
+  SynthConfig clean = SmallConfig();
+  clean.noise_rate = 0.0;
+  const SynthOutput no_noise = GenerateDataset(clean).ValueOrDie();
+  EXPECT_TRUE(no_noise.noisy_test_indices.empty());
+
+  SynthConfig noisy = SmallConfig();
+  noisy.noise_rate = 0.05;
+  const SynthOutput with_noise = GenerateDataset(noisy).ValueOrDie();
+  EXPECT_FALSE(with_noise.noisy_test_indices.empty());
+}
+
+TEST(GeneratorConfigTest, InvalidConfigRejected) {
+  SynthConfig config = SmallConfig();
+  config.num_types = 0;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+}
+
+}  // namespace
+}  // namespace kgeval
