@@ -3,17 +3,100 @@
 #include <algorithm>
 #include <atomic>
 
+#include "eval/slot_blocks.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace kgeval {
+namespace {
+
+/// Queries scored per ScoreBatch call. Bounds the qb x |pool| score block
+/// (256 x n_s floats) while amortizing the per-block candidate gather — the
+/// one per-call cost that doesn't scale with queries — down to noise.
+constexpr size_t kQueryBlock = 256;
+
+}  // namespace
 
 SampledEvalResult EvaluateSampled(const KgeModel& model,
                                   const Dataset& dataset,
                                   const FilterIndex& filter, Split split,
                                   const SampledCandidates& candidates,
                                   const SampledEvalOptions& options) {
+  WallTimer timer;
+  const std::vector<Triple>& triples = dataset.split(split);
+  int64_t num_triples = static_cast<int64_t>(triples.size());
+  if (options.max_triples > 0) {
+    num_triples = std::min(num_triples, options.max_triples);
+  }
+  const int32_t num_r = dataset.num_relations();
+
+  SampledEvalResult result;
+  result.sample_seconds = candidates.sample_seconds;
+  result.ranks.assign(static_cast<size_t>(num_triples) * 2, 0.0);
+  std::atomic<int64_t> scored{0};
+
+  // Slot-major order: every query block shares one (relation, direction)
+  // candidate pool, so the model gathers the pool's embeddings once and
+  // scores the whole block in a single batched kernel call.
+  const std::vector<std::vector<int32_t>> by_relation =
+      GroupByRelation(triples, num_triples, num_r);
+  const std::vector<SlotBlock> blocks =
+      BuildSlotBlocks(by_relation, kQueryBlock);
+
+  ParallelFor(
+      0, blocks.size(),
+      [&](size_t block_lo, size_t block_hi) {
+        std::vector<int32_t> anchors(kQueryBlock), truths(kQueryBlock);
+        std::vector<float> scores, truth_scores(kQueryBlock);
+        int64_t local_scored = 0;
+        for (size_t b = block_lo; b < block_hi; ++b) {
+          const SlotBlock& block = blocks[b];
+          const bool tail_dir = block.direction == QueryDirection::kTail;
+          const int32_t slot =
+              tail_dir ? block.relation + num_r : block.relation;
+          const std::vector<int32_t>& pool = candidates.pools[slot];
+          const size_t n = pool.size();
+          const size_t qb = block.end - block.begin;
+          for (size_t q = 0; q < qb; ++q) {
+            const Triple& triple = triples[(*block.triple_idx)[block.begin + q]];
+            anchors[q] = tail_dir ? triple.head : triple.tail;
+            truths[q] = tail_dir ? triple.tail : triple.head;
+          }
+          scores.resize(qb * n);
+          model.ScoreBatch(anchors.data(), qb, block.relation,
+                           block.direction, pool.data(), n, scores.data());
+          model.ScorePairs(anchors.data(), truths.data(), qb, block.relation,
+                           block.direction, truth_scores.data());
+          local_scored += static_cast<int64_t>(qb) * (n + 1);
+          for (size_t q = 0; q < qb; ++q) {
+            const int32_t i = (*block.triple_idx)[block.begin + q];
+            const Triple& triple = triples[i];
+            const std::vector<int32_t>* answers =
+                filter.AnswersFor(triple, block.direction);
+            KGEVAL_CHECK(answers != nullptr);
+            const double rank =
+                FilteredRank(pool.data(), scores.data() + q * n, n, truths[q],
+                             truth_scores[q], *answers, options.tie);
+            result.ranks[static_cast<size_t>(i) * 2 + (tail_dir ? 0 : 1)] =
+                rank;
+          }
+        }
+        scored.fetch_add(local_scored, std::memory_order_relaxed);
+      },
+      /*min_chunk=*/1);
+
+  result.scored_candidates = scored.load();
+  result.metrics = RankingMetrics::FromRanks(result.ranks);
+  result.eval_seconds = timer.Seconds();
+  return result;
+}
+
+SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
+                                        const Dataset& dataset,
+                                        const FilterIndex& filter, Split split,
+                                        const SampledCandidates& candidates,
+                                        const SampledEvalOptions& options) {
   WallTimer timer;
   const std::vector<Triple>& triples = dataset.split(split);
   int64_t num_triples = static_cast<int64_t>(triples.size());

@@ -31,11 +31,23 @@ struct SampledEvalResult {
 /// aggregate these pool-ranks directly — no rescaling — which is exactly why
 /// uniform Random pools are optimistic and recommender-guided pools are not
 /// (Section 4).
+/// The hot path is slot-major: queries are grouped by (relation, direction)
+/// so each group ranks against one shared pool via a single batched
+/// ScoreBatch kernel call per query block, parallelized over blocks.
 SampledEvalResult EvaluateSampled(const KgeModel& model,
                                   const Dataset& dataset,
                                   const FilterIndex& filter, Split split,
                                   const SampledCandidates& candidates,
                                   const SampledEvalOptions& options = {});
+
+/// Reference triple-major implementation scoring one query at a time through
+/// ScoreCandidates. Kept as the baseline the batched path is benchmarked and
+/// parity-tested against; produces bit-identical ranks to EvaluateSampled.
+SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
+                                        const Dataset& dataset,
+                                        const FilterIndex& filter, Split split,
+                                        const SampledCandidates& candidates,
+                                        const SampledEvalOptions& options = {});
 
 }  // namespace kgeval
 

@@ -87,12 +87,12 @@ AucResult ComputeTripleClassificationAuc(
           : static_cast<int64_t>(triples.size());
   const int32_t num_r = dataset.num_relations();
 
-  std::vector<float> positive_scores, negative_scores;
-  positive_scores.reserve(count);
-  negative_scores.reserve(count * options.negatives_per_positive);
+  // Draw every corruption first (same RNG order as the scalar scorer), then
+  // score positives and negatives through the relation-grouped batched path.
+  std::vector<Triple> negatives;
+  negatives.reserve(count * options.negatives_per_positive);
   for (int64_t i = 0; i < count; ++i) {
     const Triple& t = triples[i];
-    positive_scores.push_back(model.ScoreTriple(t));
     for (int32_t k = 0; k < options.negatives_per_positive; ++k) {
       int32_t corrupt = -1;
       if (pools != nullptr) {
@@ -109,10 +109,14 @@ AucResult ComputeTripleClassificationAuc(
         corrupt = static_cast<int32_t>((corrupt + 1) %
                                        dataset.num_entities());
       }
-      negative_scores.push_back(
-          model.ScoreTriple({t.head, t.relation, corrupt}));
+      negatives.push_back({t.head, t.relation, corrupt});
     }
   }
+  std::vector<float> positive_scores(count);
+  std::vector<float> negative_scores(negatives.size());
+  ScoreTriples(model, triples.data(), count, positive_scores.data());
+  ScoreTriples(model, negatives.data(), negatives.size(),
+               negative_scores.data());
   return ComputeAuc(positive_scores, negative_scores);
 }
 

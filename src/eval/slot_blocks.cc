@@ -1,0 +1,35 @@
+#include "eval/slot_blocks.h"
+
+#include <algorithm>
+
+namespace kgeval {
+
+std::vector<std::vector<int32_t>> GroupByRelation(
+    const std::vector<Triple>& triples, int64_t num_triples,
+    int32_t num_relations) {
+  std::vector<std::vector<int32_t>> by_relation(num_relations);
+  for (int64_t i = 0; i < num_triples; ++i) {
+    by_relation[triples[i].relation].push_back(static_cast<int32_t>(i));
+  }
+  return by_relation;
+}
+
+std::vector<SlotBlock> BuildSlotBlocks(
+    const std::vector<std::vector<int32_t>>& by_relation,
+    size_t query_block) {
+  std::vector<SlotBlock> blocks;
+  for (size_t r = 0; r < by_relation.size(); ++r) {
+    const std::vector<int32_t>& idx = by_relation[r];
+    if (idx.empty()) continue;
+    for (QueryDirection dir :
+         {QueryDirection::kTail, QueryDirection::kHead}) {
+      for (size_t lo = 0; lo < idx.size(); lo += query_block) {
+        blocks.push_back({static_cast<int32_t>(r), dir, &idx, lo,
+                          std::min(idx.size(), lo + query_block)});
+      }
+    }
+  }
+  return blocks;
+}
+
+}  // namespace kgeval

@@ -1,0 +1,35 @@
+#ifndef KGEVAL_EVAL_SLOT_BLOCKS_H_
+#define KGEVAL_EVAL_SLOT_BLOCKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/triple.h"
+
+namespace kgeval {
+
+/// One unit of slot-major evaluation work: a block of same-relation query
+/// indices, all scored in one (relation, direction) batched kernel call.
+struct SlotBlock {
+  int32_t relation;
+  QueryDirection direction;
+  const std::vector<int32_t>* triple_idx;  // Triples with this relation.
+  size_t begin;                            // Block range within triple_idx.
+  size_t end;
+};
+
+/// Buckets the evaluated prefix of a split by relation. Both directions of
+/// a triple share its relation, so one bucket list serves both slots.
+std::vector<std::vector<int32_t>> GroupByRelation(
+    const std::vector<Triple>& triples, int64_t num_triples,
+    int32_t num_relations);
+
+/// Splits every non-empty relation bucket into per-direction blocks of at
+/// most `query_block` queries. The returned blocks hold pointers into
+/// `by_relation`, which must outlive them.
+std::vector<SlotBlock> BuildSlotBlocks(
+    const std::vector<std::vector<int32_t>>& by_relation, size_t query_block);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_EVAL_SLOT_BLOCKS_H_

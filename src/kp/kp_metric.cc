@@ -39,16 +39,22 @@ KpResult ComputeKp(const KgeModel& model, const Dataset& dataset, Split split,
   const std::vector<int32_t> picks = SampleWithoutReplacement(
       static_cast<int64_t>(triples.size()), options.num_samples, &rng);
 
+  // Build both edge lists (and draw corruptions) first — same vertex and
+  // RNG order as the scalar version — then fill the weights through the
+  // relation-grouped batched scorer.
   VertexMap vertices;
   std::vector<WeightedEdge> positive_edges, negative_edges;
+  std::vector<Triple> positive_triples, negative_triples;
   positive_edges.reserve(picks.size());
   negative_edges.reserve(picks.size());
+  positive_triples.reserve(picks.size());
+  negative_triples.reserve(picks.size());
   for (int32_t pick : picks) {
     const Triple& t = triples[pick];
     // KP+: the true triple, weighted by the model's belief.
-    const float pos_weight = Sigmoid(model.ScoreTriple(t));
-    positive_edges.push_back(
-        {vertices.Get(t.head), vertices.Get(t.tail), pos_weight});
+    positive_triples.push_back(t);
+    positive_edges.push_back({vertices.Get(t.head), vertices.Get(t.tail),
+                              /*weight=*/0.0f});
 
     // KP-: a tail corruption, drawn uniformly (KP-R) or from the
     // recommender-guided pool of the relation's range slot (KP-P / KP-S).
@@ -65,10 +71,19 @@ KpResult ComputeKp(const KgeModel& model, const Dataset& dataset, Split split,
     if (corrupt == t.tail) {
       corrupt = static_cast<int32_t>((corrupt + 1) % dataset.num_entities());
     }
-    const float neg_weight =
-        Sigmoid(model.ScoreTriple({t.head, t.relation, corrupt}));
-    negative_edges.push_back(
-        {vertices.Get(t.head), vertices.Get(corrupt), neg_weight});
+    negative_triples.push_back({t.head, t.relation, corrupt});
+    negative_edges.push_back({vertices.Get(t.head), vertices.Get(corrupt),
+                              /*weight=*/0.0f});
+  }
+  std::vector<float> pos_scores(positive_triples.size());
+  std::vector<float> neg_scores(negative_triples.size());
+  ScoreTriples(model, positive_triples.data(), positive_triples.size(),
+               pos_scores.data());
+  ScoreTriples(model, negative_triples.data(), negative_triples.size(),
+               neg_scores.data());
+  for (size_t i = 0; i < positive_edges.size(); ++i) {
+    positive_edges[i].weight = Sigmoid(pos_scores[i]);
+    negative_edges[i].weight = Sigmoid(neg_scores[i]);
   }
 
   const PersistenceDiagram positive =

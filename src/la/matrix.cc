@@ -1,5 +1,6 @@
 #include "la/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace kgeval {
@@ -17,6 +18,56 @@ void Matrix::InitUniform(Rng* rng, float lo, float hi) {
 void Matrix::InitGaussian(Rng* rng, float stddev) {
   for (auto& v : data_) {
     v = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+}
+
+void GatherRowsT(const Matrix& src, const int32_t* ids, size_t n,
+                 Matrix* out) {
+  const size_t cols = src.cols();
+  out->Resize(cols, n);
+  float* data = out->data();
+  for (size_t c = 0; c < n; ++c) {
+    const float* row = src.Row(static_cast<size_t>(ids[c]));
+    for (size_t k = 0; k < cols; ++k) {
+      data[k * n + c] = row[k];
+    }
+  }
+}
+
+void DotScoreBatch(const Matrix& queries, const Matrix& gathered_t,
+                   float* out) {
+  KGEVAL_CHECK(queries.cols() == gathered_t.rows());
+  const size_t q = queries.rows();
+  const size_t n = gathered_t.cols();
+  const size_t dim = queries.cols();
+  for (size_t i = 0; i < q; ++i) {
+    const float* a = queries.Row(i);
+    float* __restrict o = out + i * n;
+    std::fill(o, o + n, 0.0f);
+    for (size_t k = 0; k < dim; ++k) {
+      const float ak = a[k];
+      const float* __restrict g = gathered_t.Row(k);
+      for (size_t c = 0; c < n; ++c) o[c] += ak * g[c];
+    }
+  }
+}
+
+void NegL1ScoreBatch(const Matrix& queries, const Matrix& gathered_t,
+                     float* out) {
+  KGEVAL_CHECK(queries.cols() == gathered_t.rows());
+  const size_t q = queries.rows();
+  const size_t n = gathered_t.cols();
+  const size_t dim = queries.cols();
+  for (size_t i = 0; i < q; ++i) {
+    const float* a = queries.Row(i);
+    float* __restrict o = out + i * n;
+    std::fill(o, o + n, 0.0f);
+    for (size_t k = 0; k < dim; ++k) {
+      const float ak = a[k];
+      const float* __restrict g = gathered_t.Row(k);
+      for (size_t c = 0; c < n; ++c) o[c] += std::fabs(ak - g[c]);
+    }
+    for (size_t c = 0; c < n; ++c) o[c] = -o[c];
   }
 }
 

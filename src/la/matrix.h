@@ -44,6 +44,14 @@ class Matrix {
 
   void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes to rows x cols, reusing the allocation when possible. Contents
+  /// are unspecified after a resize that changes the element count.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Xavier/Glorot uniform initialization with the given fan-in/fan-out.
   void InitXavier(Rng* rng, size_t fan_in, size_t fan_out);
 
@@ -58,6 +66,28 @@ class Matrix {
   size_t cols_;
   std::vector<float> data_;
 };
+
+/// Gathers rows `ids[0..n)` of `src` into `out` TRANSPOSED: out is
+/// src.cols() x n with out(k, c) = src(ids[c], k). The candidate axis
+/// becomes the contiguous one, which turns the batched scoring kernels into
+/// independent-lane loops over candidates that the compiler vectorizes
+/// without reassociating any per-candidate reduction.
+void GatherRowsT(const Matrix& src, const int32_t* ids, size_t n,
+                 Matrix* out);
+
+/// out[q * n + c] = dot(queries.Row(q), column c of gathered_t), where
+/// `gathered_t` is a k x n transposed candidate block from GatherRowsT.
+/// Each output cell accumulates over k in exactly Dot()'s sequential order
+/// (the vectorized lanes are independent candidates), so every score is
+/// bit-identical to the scalar path.
+void DotScoreBatch(const Matrix& queries, const Matrix& gathered_t,
+                   float* out);
+
+/// out[q * n + c] = -sum_k |queries(q, k) - gathered_t(k, c)| — the pairwise
+/// negative L1 distance used by translational scoring. Same transposed
+/// layout and bit-exactness guarantee as DotScoreBatch.
+void NegL1ScoreBatch(const Matrix& queries, const Matrix& gathered_t,
+                     float* out);
 
 }  // namespace kgeval
 

@@ -19,36 +19,67 @@ ComplEx::ComplEx(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
+void ComplEx::BuildQueries(const int32_t* anchors, size_t num_queries,
+                           int32_t relation, QueryDirection direction,
+                           Matrix* queries) const {
+  const int32_t m = half_;
+  const float* rv = relations_.Row(relation);
+  // The score is linear in the candidate embedding: fold anchor and
+  // relation into a single query vector (q_re, q_im) per anchor.
+  queries->Resize(num_queries, static_cast<size_t>(2 * m));
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* av = entities_.Row(anchors[q]);
+    float* row = queries->Row(q);
+    if (direction == QueryDirection::kTail) {
+      // score = e.(ac - bd) + f.(bc + ad) with h=(a,b), r=(c,d), t=(e,f).
+      for (int32_t i = 0; i < m; ++i) {
+        const float a = av[i], b = av[m + i];
+        const float c = rv[i], d = rv[m + i];
+        row[i] = a * c - b * d;
+        row[m + i] = b * c + a * d;
+      }
+    } else {
+      // score = a.(ce + df) + b.(cf - de) with t=(e,f) as anchor.
+      for (int32_t i = 0; i < m; ++i) {
+        const float e = av[i], f = av[m + i];
+        const float c = rv[i], d = rv[m + i];
+        row[i] = c * e + d * f;
+        row[m + i] = c * f - d * e;
+      }
+    }
+  }
+}
+
 void ComplEx::ScoreCandidates(int32_t anchor, int32_t relation,
                               QueryDirection direction,
                               const int32_t* candidates, size_t n,
                               float* out) const {
-  const int32_t m = half_;
-  const float* av = entities_.Row(anchor);
-  const float* rv = relations_.Row(relation);
-  // The score is linear in the candidate embedding: fold anchor and
-  // relation into a single query vector (q_re, q_im) and take dot products.
-  std::vector<float> query(2 * m);
-  if (direction == QueryDirection::kTail) {
-    // score = e.(ac - bd) + f.(bc + ad) with h=(a,b), r=(c,d), t=(e,f).
-    for (int32_t i = 0; i < m; ++i) {
-      const float a = av[i], b = av[m + i];
-      const float c = rv[i], d = rv[m + i];
-      query[i] = a * c - b * d;
-      query[m + i] = b * c + a * d;
-    }
-  } else {
-    // score = a.(ce + df) + b.(cf - de) with t=(e,f) as anchor.
-    for (int32_t i = 0; i < m; ++i) {
-      const float e = av[i], f = av[m + i];
-      const float c = rv[i], d = rv[m + i];
-      query[i] = c * e + d * f;
-      query[m + i] = c * f - d * e;
-    }
-  }
+  Matrix query;
+  BuildQueries(&anchor, 1, relation, direction, &query);
   for (size_t k = 0; k < n; ++k) {
-    out[k] = Dot(query.data(), entities_.Row(candidates[k]),
-                 static_cast<size_t>(2 * m));
+    out[k] = Dot(query.Row(0), entities_.Row(candidates[k]),
+                 static_cast<size_t>(2 * half_));
+  }
+}
+
+void ComplEx::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                         int32_t relation, QueryDirection direction,
+                         const int32_t* candidates, size_t n,
+                         float* out) const {
+  Matrix queries, gathered;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  GatherRowsT(entities_, candidates, n, &gathered);
+  DotScoreBatch(queries, gathered, out);
+}
+
+void ComplEx::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                         size_t num_queries, int32_t relation,
+                         QueryDirection direction, float* out) const {
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = Dot(queries.Row(q), entities_.Row(candidates[q]),
+                 static_cast<size_t>(2 * half_));
   }
 }
 

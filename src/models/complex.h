@@ -17,12 +17,27 @@ class ComplEx : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
+  /// Folds anchor and relation into one complex query row per anchor; the
+  /// score is then a plain dot product with the candidate embedding.
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t relation, QueryDirection direction,
+                    Matrix* queries) const;
+
   int32_t half_;  // d / 2
   Matrix entities_;
   Matrix relations_;

@@ -29,6 +29,15 @@ class ConvE : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
@@ -47,6 +56,12 @@ class ConvE : public KgeModel {
 
   /// Runs the feed-forward trunk for (anchor, relation-table row).
   void Forward(int32_t anchor, int32_t rel_row, Activations* acts) const;
+
+  /// Runs the trunk once per anchor, collecting the psi query vectors as
+  /// rows. The score is psi . candidate + entity bias, so batching hoists
+  /// the expensive conv/FC trunk out of the candidate loop.
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t rel_row, Matrix* queries) const;
 
   static constexpr int32_t kKernel = 3;
   // 4 channels keeps the flattened FC input (and thus the per-update cost,

@@ -18,19 +18,50 @@ DistMult::DistMult(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
+void DistMult::BuildQueries(const int32_t* anchors, size_t num_queries,
+                            int32_t relation, Matrix* queries) const {
+  // DistMult is symmetric in h/t: both directions reduce to a dot product
+  // with the elementwise product of the anchor and relation embeddings.
+  const size_t d = entities_.cols();
+  const float* r = relations_.Row(relation);
+  queries->Resize(num_queries, d);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* a = entities_.Row(anchors[q]);
+    float* row = queries->Row(q);
+    for (size_t i = 0; i < d; ++i) row[i] = a[i] * r[i];
+  }
+}
+
 void DistMult::ScoreCandidates(int32_t anchor, int32_t relation,
                                QueryDirection /*direction*/,
                                const int32_t* candidates, size_t n,
                                float* out) const {
-  // DistMult is symmetric in h/t: both directions reduce to a dot product
-  // with the elementwise product of the anchor and relation embeddings.
   const size_t d = entities_.cols();
-  const float* a = entities_.Row(anchor);
-  const float* r = relations_.Row(relation);
-  std::vector<float> query(d);
-  for (size_t i = 0; i < d; ++i) query[i] = a[i] * r[i];
+  Matrix query;
+  BuildQueries(&anchor, 1, relation, &query);
   for (size_t c = 0; c < n; ++c) {
-    out[c] = Dot(query.data(), entities_.Row(candidates[c]), d);
+    out[c] = Dot(query.Row(0), entities_.Row(candidates[c]), d);
+  }
+}
+
+void DistMult::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection /*direction*/,
+                          const int32_t* candidates, size_t n,
+                          float* out) const {
+  Matrix queries, gathered;
+  BuildQueries(anchors, num_queries, relation, &queries);
+  GatherRowsT(entities_, candidates, n, &gathered);
+  DotScoreBatch(queries, gathered, out);
+}
+
+void DistMult::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                          size_t num_queries, int32_t relation,
+                          QueryDirection /*direction*/, float* out) const {
+  const size_t d = entities_.cols();
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, &queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = Dot(queries.Row(q), entities_.Row(candidates[q]), d);
   }
 }
 

@@ -15,12 +15,26 @@ class DistMult : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
+  /// Writes one query row per anchor: q = anchor .* relation (the score is
+  /// then linear in the candidate embedding, shared by all three scorers).
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t relation, Matrix* queries) const;
+
   Matrix entities_;
   Matrix relations_;
   AdamState entity_adam_;

@@ -50,6 +50,51 @@ KgeModel::KgeModel(ModelType type, int32_t num_entities,
       num_relations_(num_relations),
       options_(options) {}
 
+void KgeModel::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          const int32_t* candidates, size_t n,
+                          float* out) const {
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScoreCandidates(anchors[q], relation, direction, candidates, n,
+                    out + q * n);
+  }
+}
+
+void KgeModel::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                          size_t num_queries, int32_t relation,
+                          QueryDirection direction, float* out) const {
+  for (size_t q = 0; q < num_queries; ++q) {
+    ScoreCandidates(anchors[q], relation, direction, &candidates[q], 1,
+                    &out[q]);
+  }
+}
+
+void ScoreTriples(const KgeModel& model, const Triple* triples, size_t n,
+                  float* out) {
+  // Bucket triple indices by relation, then score each bucket in one
+  // ScorePairs call. Scatter back so out[i] still matches triples[i].
+  std::vector<std::vector<int32_t>> by_relation(model.num_relations());
+  for (size_t i = 0; i < n; ++i) {
+    by_relation[triples[i].relation].push_back(static_cast<int32_t>(i));
+  }
+  std::vector<int32_t> anchors, cands;
+  std::vector<float> scores;
+  for (int32_t r = 0; r < model.num_relations(); ++r) {
+    const std::vector<int32_t>& idx = by_relation[r];
+    if (idx.empty()) continue;
+    anchors.resize(idx.size());
+    cands.resize(idx.size());
+    scores.resize(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      anchors[i] = triples[idx[i]].head;
+      cands[i] = triples[idx[i]].tail;
+    }
+    model.ScorePairs(anchors.data(), cands.data(), idx.size(), r,
+                     QueryDirection::kTail, scores.data());
+    for (size_t i = 0; i < idx.size(); ++i) out[idx[i]] = scores[i];
+  }
+}
+
 void KgeModel::ScoreAll(int32_t anchor, int32_t relation,
                         QueryDirection direction, float* out) const {
   std::vector<int32_t> all(num_entities_);

@@ -61,6 +61,27 @@ class KgeModel {
                                const int32_t* candidates, size_t n,
                                float* out) const = 0;
 
+  /// Scores `num_queries` queries that share a (relation, direction) slot
+  /// against one shared candidate pool. `out` is row-major num_queries x n:
+  /// out[q * n + c] is the score of candidates[c] for anchors[q]. The base
+  /// implementation loops over ScoreCandidates; the bilinear/translational
+  /// models override it with a gather-once, blocked batch kernel whose
+  /// per-cell results match ScoreCandidates bit-for-bit. This is the
+  /// evaluation hot path: slot-major evaluators feed whole slots here.
+  virtual void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          const int32_t* candidates, size_t n,
+                          float* out) const;
+
+  /// Scores query q against its *own* single candidate: out[q] is the score
+  /// of candidates[q] for anchors[q]. All queries share (relation,
+  /// direction). Used to score each query's true answer alongside a
+  /// ScoreBatch over the shared pool, and by the triple-at-a-time scorers
+  /// (AUC, KP) once they group triples by relation.
+  virtual void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                          size_t num_queries, int32_t relation,
+                          QueryDirection direction, float* out) const;
+
   /// Scores every entity for a query (out has num_entities() slots).
   void ScoreAll(int32_t anchor, int32_t relation, QueryDirection direction,
                 float* out) const;
@@ -99,6 +120,13 @@ class KgeModel {
   int32_t num_relations_;
   ModelOptions options_;
 };
+
+/// Scores triples[i] as a tail query against its own tail (the ScoreTriple
+/// convention), batched: triples are grouped by relation so each group goes
+/// through one ScorePairs call instead of n virtual single-triple scores.
+/// out[i] corresponds to triples[i].
+void ScoreTriples(const KgeModel& model, const Triple* triples, size_t n,
+                  float* out);
 
 /// Creates a model of the given type. Fails on invalid options (e.g., an odd
 /// dimension for the complex-valued models).

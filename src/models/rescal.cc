@@ -1,5 +1,6 @@
 #include "models/rescal.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "la/vector_ops.h"
@@ -21,27 +22,60 @@ Rescal::Rescal(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
+void Rescal::BuildQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const {
+  const size_t d = entities_.cols();
+  const float* w = relations_.Row(relation);
+  queries->Resize(num_queries, d);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* a = entities_.Row(anchors[q]);
+    float* row = queries->Row(q);
+    if (direction == QueryDirection::kTail) {
+      // score = (W^T h) . t
+      std::fill(row, row + d, 0.0f);
+      for (size_t i = 0; i < d; ++i) {
+        Axpy(a[i], w + i * d, row, d);
+      }
+    } else {
+      // score = (W t) . h
+      for (size_t i = 0; i < d; ++i) {
+        row[i] = Dot(w + i * d, a, d);
+      }
+    }
+  }
+}
+
 void Rescal::ScoreCandidates(int32_t anchor, int32_t relation,
                              QueryDirection direction,
                              const int32_t* candidates, size_t n,
                              float* out) const {
   const size_t d = entities_.cols();
-  const float* a = entities_.Row(anchor);
-  const float* w = relations_.Row(relation);
-  std::vector<float> query(d, 0.0f);
-  if (direction == QueryDirection::kTail) {
-    // score = (W^T h) . t
-    for (size_t i = 0; i < d; ++i) {
-      Axpy(a[i], w + i * d, query.data(), d);
-    }
-  } else {
-    // score = (W t) . h
-    for (size_t i = 0; i < d; ++i) {
-      query[i] = Dot(w + i * d, a, d);
-    }
-  }
+  Matrix query;
+  BuildQueries(&anchor, 1, relation, direction, &query);
   for (size_t c = 0; c < n; ++c) {
-    out[c] = Dot(query.data(), entities_.Row(candidates[c]), d);
+    out[c] = Dot(query.Row(0), entities_.Row(candidates[c]), d);
+  }
+}
+
+void Rescal::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                        int32_t relation, QueryDirection direction,
+                        const int32_t* candidates, size_t n,
+                        float* out) const {
+  Matrix queries, gathered;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  GatherRowsT(entities_, candidates, n, &gathered);
+  DotScoreBatch(queries, gathered, out);
+}
+
+void Rescal::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                        size_t num_queries, int32_t relation,
+                        QueryDirection direction, float* out) const {
+  const size_t d = entities_.cols();
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = Dot(queries.Row(q), entities_.Row(candidates[q]), d);
   }
 }
 

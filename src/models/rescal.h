@@ -16,12 +16,27 @@ class Rescal : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
+  /// Contracts W_r with each anchor (W^T h for tail queries, W t for head
+  /// queries), leaving one length-d query row per anchor.
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t relation, QueryDirection direction,
+                    Matrix* queries) const;
+
   Matrix entities_;
   Matrix relations_;  // |R| x d*d, row-major W_r.
   AdamState entity_adam_;

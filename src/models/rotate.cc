@@ -1,5 +1,6 @@
 #include "models/rotate.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -22,34 +23,99 @@ RotatE::RotatE(int32_t num_entities, int32_t num_relations,
                       static_cast<float>(M_PI));
 }
 
+namespace {
+
+/// -sum_j |q_j - e_j| over the complex coordinates (re in [0, m), im in
+/// [m, 2m)). Sequential over j, matching the scalar path bit-for-bit.
+inline float NegComplexDistance(const float* __restrict q,
+                                const float* __restrict e, int32_t m) {
+  float dist = 0.0f;
+  for (int32_t j = 0; j < m; ++j) {
+    const float dre = q[j] - e[j];
+    const float dim = q[m + j] - e[m + j];
+    dist += std::sqrt(dre * dre + dim * dim + kEps);
+  }
+  return -dist;
+}
+
+}  // namespace
+
+void RotatE::BuildQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const {
+  const int32_t m = half_;
+  const float* theta = phases_.Row(relation);
+  // Rotate each anchor so the score is a plain complex distance to the
+  // candidate: tail query uses q = h * r; head query uses q = t * conj(r)
+  // (valid because |r_j| = 1). The rotation's cos/sin only depends on the
+  // relation, so compute it once for the whole batch.
+  std::vector<float> cos_theta(m), sin_theta(m);
+  for (int32_t j = 0; j < m; ++j) {
+    cos_theta[j] = std::cos(theta[j]);
+    sin_theta[j] = direction == QueryDirection::kTail ? std::sin(theta[j])
+                                                      : -std::sin(theta[j]);
+  }
+  queries->Resize(num_queries, static_cast<size_t>(2 * m));
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* a = entities_.Row(anchors[q]);
+    float* row = queries->Row(q);
+    for (int32_t j = 0; j < m; ++j) {
+      const float re = a[j], im = a[m + j];
+      row[j] = re * cos_theta[j] - im * sin_theta[j];
+      row[m + j] = re * sin_theta[j] + im * cos_theta[j];
+    }
+  }
+}
+
 void RotatE::ScoreCandidates(int32_t anchor, int32_t relation,
                              QueryDirection direction,
                              const int32_t* candidates, size_t n,
                              float* out) const {
-  const int32_t m = half_;
-  const float* a = entities_.Row(anchor);
-  const float* theta = phases_.Row(relation);
-  // Rotate the anchor so the score is a plain complex distance to the
-  // candidate: tail query uses q = h * r; head query uses q = t * conj(r)
-  // (valid because |r_j| = 1).
-  std::vector<float> q(2 * m);
-  for (int32_t j = 0; j < m; ++j) {
-    const float c = std::cos(theta[j]);
-    const float s = direction == QueryDirection::kTail ? std::sin(theta[j])
-                                                       : -std::sin(theta[j]);
-    const float re = a[j], im = a[m + j];
-    q[j] = re * c - im * s;
-    q[m + j] = re * s + im * c;
-  }
+  Matrix query;
+  BuildQueries(&anchor, 1, relation, direction, &query);
   for (size_t k = 0; k < n; ++k) {
-    const float* e = entities_.Row(candidates[k]);
-    float dist = 0.0f;
+    out[k] = NegComplexDistance(query.Row(0), entities_.Row(candidates[k]),
+                                half_);
+  }
+}
+
+void RotatE::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                        int32_t relation, QueryDirection direction,
+                        const int32_t* candidates, size_t n,
+                        float* out) const {
+  Matrix queries, gathered;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  GatherRowsT(entities_, candidates, n, &gathered);
+  // Transposed layout: accumulate the per-candidate distance across complex
+  // coordinates j, exactly in NegComplexDistance's order per cell but with
+  // candidates as independent vector lanes.
+  const int32_t m = half_;
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* row = queries.Row(q);
+    float* __restrict o = out + q * n;
+    std::fill(o, o + n, 0.0f);
     for (int32_t j = 0; j < m; ++j) {
-      const float dre = q[j] - e[j];
-      const float dim = q[m + j] - e[m + j];
-      dist += std::sqrt(dre * dre + dim * dim + kEps);
+      const float qre = row[j], qim = row[m + j];
+      const float* __restrict gre = gathered.Row(j);
+      const float* __restrict gim = gathered.Row(m + j);
+      for (size_t c = 0; c < n; ++c) {
+        const float dre = qre - gre[c];
+        const float dim = qim - gim[c];
+        o[c] += std::sqrt(dre * dre + dim * dim + kEps);
+      }
     }
-    out[k] = -dist;
+    for (size_t c = 0; c < n; ++c) o[c] = -o[c];
+  }
+}
+
+void RotatE::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                        size_t num_queries, int32_t relation,
+                        QueryDirection direction, float* out) const {
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = NegComplexDistance(queries.Row(q),
+                                entities_.Row(candidates[q]), half_);
   }
 }
 

@@ -17,12 +17,28 @@ class RotatE : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
+  /// Rotates each anchor by the relation's phases (conjugated for head
+  /// queries). The cos/sin of the shared phase vector is computed once per
+  /// call instead of once per query — RotatE's biggest batching win.
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t relation, QueryDirection direction,
+                    Matrix* queries) const;
+
   int32_t half_;     // d / 2 complex coordinates.
   Matrix entities_;  // |E| x d.
   Matrix phases_;    // |R| x d/2.

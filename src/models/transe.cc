@@ -18,23 +18,55 @@ TransE::TransE(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
+void TransE::BuildQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const {
+  const size_t d = entities_.cols();
+  const float* r = relations_.Row(relation);
+  queries->Resize(num_queries, d);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* a = entities_.Row(anchors[q]);
+    float* row = queries->Row(q);
+    if (direction == QueryDirection::kTail) {
+      // score = -|| (h + r) - t ||_1
+      for (size_t i = 0; i < d; ++i) row[i] = a[i] + r[i];
+    } else {
+      // score = -|| h - (t - r) ||_1
+      for (size_t i = 0; i < d; ++i) row[i] = a[i] - r[i];
+    }
+  }
+}
+
 void TransE::ScoreCandidates(int32_t anchor, int32_t relation,
                              QueryDirection direction,
                              const int32_t* candidates, size_t n,
                              float* out) const {
   const size_t d = entities_.cols();
-  const float* a = entities_.Row(anchor);
-  const float* r = relations_.Row(relation);
-  std::vector<float> query(d);
-  if (direction == QueryDirection::kTail) {
-    // score = -|| (h + r) - t ||_1
-    for (size_t i = 0; i < d; ++i) query[i] = a[i] + r[i];
-  } else {
-    // score = -|| h - (t - r) ||_1
-    for (size_t i = 0; i < d; ++i) query[i] = a[i] - r[i];
-  }
+  Matrix query;
+  BuildQueries(&anchor, 1, relation, direction, &query);
   for (size_t c = 0; c < n; ++c) {
-    out[c] = -L1Distance(query.data(), entities_.Row(candidates[c]), d);
+    out[c] = -L1Distance(query.Row(0), entities_.Row(candidates[c]), d);
+  }
+}
+
+void TransE::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                        int32_t relation, QueryDirection direction,
+                        const int32_t* candidates, size_t n,
+                        float* out) const {
+  Matrix queries, gathered;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  GatherRowsT(entities_, candidates, n, &gathered);
+  NegL1ScoreBatch(queries, gathered, out);
+}
+
+void TransE::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                        size_t num_queries, int32_t relation,
+                        QueryDirection direction, float* out) const {
+  const size_t d = entities_.cols();
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = -L1Distance(queries.Row(q), entities_.Row(candidates[q]), d);
   }
 }
 

@@ -15,6 +15,15 @@ class TransE : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
@@ -24,6 +33,12 @@ class TransE : public KgeModel {
   const Matrix& relations() const { return relations_; }
 
  private:
+  /// One translated query row per anchor: h + r for tail queries, t - r for
+  /// head queries; scoring is then -L1(query, candidate).
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t relation, QueryDirection direction,
+                    Matrix* queries) const;
+
   Matrix entities_;
   Matrix relations_;
   AdamState entity_adam_;

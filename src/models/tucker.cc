@@ -1,5 +1,6 @@
 #include "models/tucker.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "la/vector_ops.h"
@@ -24,38 +25,69 @@ TuckEr::TuckEr(int32_t num_entities, int32_t num_relations,
   core_.InitGaussian(&rng, 0.1f);
 }
 
+void TuckEr::BuildQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const {
+  const float* r = relations_.Row(relation);
+  const float* w = core_.Row(0);
+  // Contract the core with each anchor and the relation, leaving a
+  // length-de query over the candidate mode.
+  queries->Resize(num_queries, de_);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float* a = entities_.Row(anchors[q]);
+    float* row = queries->Row(q);
+    std::fill(row, row + de_, 0.0f);
+    if (direction == QueryDirection::kTail) {
+      // q_k = sum_ij W[i][j][k] h_i r_j.
+      for (int32_t i = 0; i < de_; ++i) {
+        for (int32_t j = 0; j < dr_; ++j) {
+          const float hr = a[i] * r[j];
+          if (hr == 0.0f) continue;
+          const float* slice = w + CoreIndex(i, j, 0);
+          Axpy(hr, slice, row, de_);
+        }
+      }
+    } else {
+      // q_i = sum_jk W[i][j][k] r_j t_k.
+      for (int32_t i = 0; i < de_; ++i) {
+        float acc = 0.0f;
+        for (int32_t j = 0; j < dr_; ++j) {
+          acc += r[j] * Dot(w + CoreIndex(i, j, 0), a, de_);
+        }
+        row[i] = acc;
+      }
+    }
+  }
+}
+
 void TuckEr::ScoreCandidates(int32_t anchor, int32_t relation,
                              QueryDirection direction,
                              const int32_t* candidates, size_t n,
                              float* out) const {
-  const float* a = entities_.Row(anchor);
-  const float* r = relations_.Row(relation);
-  const float* w = core_.Row(0);
-  // Contract the core with the anchor and relation, leaving a length-de
-  // query over the candidate mode.
-  std::vector<float> query(de_, 0.0f);
-  if (direction == QueryDirection::kTail) {
-    // q_k = sum_ij W[i][j][k] h_i r_j.
-    for (int32_t i = 0; i < de_; ++i) {
-      for (int32_t j = 0; j < dr_; ++j) {
-        const float hr = a[i] * r[j];
-        if (hr == 0.0f) continue;
-        const float* slice = w + CoreIndex(i, j, 0);
-        Axpy(hr, slice, query.data(), de_);
-      }
-    }
-  } else {
-    // q_i = sum_jk W[i][j][k] r_j t_k.
-    for (int32_t i = 0; i < de_; ++i) {
-      float acc = 0.0f;
-      for (int32_t j = 0; j < dr_; ++j) {
-        acc += r[j] * Dot(w + CoreIndex(i, j, 0), a, de_);
-      }
-      query[i] = acc;
-    }
-  }
+  Matrix query;
+  BuildQueries(&anchor, 1, relation, direction, &query);
   for (size_t c = 0; c < n; ++c) {
-    out[c] = Dot(query.data(), entities_.Row(candidates[c]), de_);
+    out[c] = Dot(query.Row(0), entities_.Row(candidates[c]), de_);
+  }
+}
+
+void TuckEr::ScoreBatch(const int32_t* anchors, size_t num_queries,
+                        int32_t relation, QueryDirection direction,
+                        const int32_t* candidates, size_t n,
+                        float* out) const {
+  Matrix queries, gathered;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  GatherRowsT(entities_, candidates, n, &gathered);
+  DotScoreBatch(queries, gathered, out);
+}
+
+void TuckEr::ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                        size_t num_queries, int32_t relation,
+                        QueryDirection direction, float* out) const {
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    out[q] = Dot(queries.Row(q), entities_.Row(candidates[q]), de_);
   }
 }
 

@@ -17,12 +17,29 @@ class TuckEr : public KgeModel {
                        QueryDirection direction, const int32_t* candidates,
                        size_t n, float* out) const override;
 
+  void ScoreBatch(const int32_t* anchors, size_t num_queries,
+                  int32_t relation, QueryDirection direction,
+                  const int32_t* candidates, size_t n,
+                  float* out) const override;
+
+  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, int32_t relation,
+                  QueryDirection direction, float* out) const override;
+
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
 
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
+  /// Contracts the core with each anchor and the relation, leaving one
+  /// length-de query row per anchor. This is TuckER's per-query O(de^2 dr)
+  /// cost; batching runs it once per query instead of once per candidate
+  /// tile.
+  void BuildQueries(const int32_t* anchors, size_t num_queries,
+                    int32_t relation, QueryDirection direction,
+                    Matrix* queries) const;
+
   /// Index into the flattened core: W[i][j][k] with i,k entity dims, j the
   /// relation dim.
   size_t CoreIndex(int32_t i, int32_t j, int32_t k) const {
