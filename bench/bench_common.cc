@@ -21,10 +21,12 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.epochs = std::atoi(arg.c_str() + std::strlen("--epochs="));
     } else if (arg.rfind("--dataset=", 0) == 0) {
       args.only_dataset = arg.substr(std::strlen("--dataset="));
+    } else if (arg == "--json") {
+      args.json = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --paper-scale --fast "
-                   "--epochs=N --dataset=NAME)\n",
+                   "--epochs=N --dataset=NAME --json)\n",
                    arg.c_str());
       std::exit(2);
     }

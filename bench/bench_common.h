@@ -17,11 +17,14 @@ namespace bench {
 ///   --fast          trim epochs/repetitions for a smoke run
 ///   --epochs=N      override the training epoch count
 ///   --dataset=NAME  restrict multi-dataset benches to one preset
+///   --json          also write the bench's BENCH_<name>.json (machine-
+///                   readable results; only benches that support it)
 struct BenchArgs {
   bool paper_scale = false;
   bool fast = false;
   int32_t epochs = -1;
   std::string only_dataset;
+  bool json = false;
 };
 
 BenchArgs ParseArgs(int argc, char** argv);

@@ -11,9 +11,10 @@
 namespace kgeval {
 namespace {
 
-/// Queries scored per ScoreBatch call. Bounds the qb x |pool| score block
-/// (256 x n_s floats) while amortizing the per-block candidate gather — the
-/// one per-call cost that doesn't scale with queries — down to noise.
+/// Queries scored per fused kernel call. Bounds the qb x |pool| score block
+/// (256 x n_s floats); the pool gather itself happens once per slot, not per
+/// block, so the block size only trades score-matrix footprint for call
+/// overhead.
 constexpr size_t kQueryBlock = 256;
 
 }  // namespace
@@ -37,18 +38,33 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
   std::atomic<int64_t> scored{0};
 
   // Slot-major order: every query block shares one (relation, direction)
-  // candidate pool, so the model gathers the pool's embeddings once and
-  // scores the whole block in a single batched kernel call.
+  // candidate pool, so the pool's embeddings are gathered once and whole
+  // query blocks are scored per kernel call.
   const std::vector<std::vector<int32_t>> by_relation =
       GroupByRelation(triples, num_triples, num_r);
   const std::vector<SlotBlock> blocks =
       BuildSlotBlocks(by_relation, kQueryBlock);
 
+  // Largest pool across slots: the per-thread score buffer is sized once to
+  // qb_max x n_max instead of being resized inside the block loop.
+  size_t max_pool = 1;
+  for (const std::vector<int32_t>& pool : candidates.pools) {
+    max_pool = std::max(max_pool, pool.size());
+  }
+
   ParallelFor(
       0, blocks.size(),
       [&](size_t block_lo, size_t block_hi) {
         std::vector<int32_t> anchors(kQueryBlock), truths(kQueryBlock);
-        std::vector<float> scores, truth_scores(kQueryBlock);
+        std::vector<float> scores(kQueryBlock * max_pool),
+            truth_scores(kQueryBlock);
+        // Slot blocks arrive slot-major, so a slot's blocks are contiguous:
+        // prepare its pool once at the first block (gather stays hot in
+        // cache for the scoring call right after) and reuse the prepared
+        // tile — including its allocation and precomputed sortedness — for
+        // every following block of the same slot.
+        CandidateBlock prepared;
+        int32_t prepared_slot = -1;
         int64_t local_scored = 0;
         for (size_t b = block_lo; b < block_hi; ++b) {
           const SlotBlock& block = blocks[b];
@@ -63,11 +79,26 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
             anchors[q] = tail_dir ? triple.head : triple.tail;
             truths[q] = tail_dir ? triple.tail : triple.head;
           }
-          scores.resize(qb * n);
-          model.ScoreBatch(anchors.data(), qb, block.relation,
-                           block.direction, pool.data(), n, scores.data());
-          model.ScorePairs(anchors.data(), truths.data(), qb, block.relation,
-                           block.direction, truth_scores.data());
+          bool pool_sorted = false;
+          if (options.prepared_pools) {
+            if (slot != prepared_slot) {
+              model.PrepareCandidates(pool.data(), n, &prepared);
+              prepared_slot = slot;
+            }
+            // Fused kernel: one query construction serves the pool matrix
+            // and the per-query truth scores.
+            model.ScoreBlock(anchors.data(), truths.data(), qb,
+                             block.relation, block.direction, prepared,
+                             scores.data(), truth_scores.data());
+            pool_sorted = prepared.sorted;
+          } else {
+            model.ScoreBatch(anchors.data(), qb, block.relation,
+                             block.direction, pool.data(), n, scores.data());
+            model.ScorePairs(anchors.data(), truths.data(), qb, 1,
+                             block.relation, block.direction,
+                             truth_scores.data());
+            pool_sorted = std::is_sorted(pool.begin(), pool.end());
+          }
           local_scored += static_cast<int64_t>(qb) * (n + 1);
           for (size_t q = 0; q < qb; ++q) {
             const int32_t i = (*block.triple_idx)[block.begin + q];
@@ -75,9 +106,9 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
             const std::vector<int32_t>* answers =
                 filter.AnswersFor(triple, block.direction);
             KGEVAL_CHECK(answers != nullptr);
-            const double rank =
-                FilteredRank(pool.data(), scores.data() + q * n, n, truths[q],
-                             truth_scores[q], *answers, options.tie);
+            const double rank = FilteredRank(
+                pool.data(), scores.data() + q * n, n, truths[q],
+                truth_scores[q], *answers, options.tie, pool_sorted);
             result.ranks[static_cast<size_t>(i) * 2 + (tail_dir ? 0 : 1)] =
                 rank;
           }

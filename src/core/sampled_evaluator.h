@@ -14,6 +14,12 @@ struct SampledEvalOptions {
   TieBreak tie = TieBreak::kMean;
   /// Cap on evaluated triples (0 = all); deterministic prefix of the split.
   int64_t max_triples = 0;
+  /// Prepare each slot's candidate pool once (PrepareCandidates) and score
+  /// every query block through the fused ScoreBlock kernel. false falls
+  /// back to the per-block gather engine (ScoreBatch + ScorePairs), kept so
+  /// benches can measure the prepared path against it; ranks are
+  /// bit-identical either way.
+  bool prepared_pools = true;
 };
 
 /// Result of estimating the ranking metrics from sampled candidate pools.
@@ -32,8 +38,11 @@ struct SampledEvalResult {
 /// uniform Random pools are optimistic and recommender-guided pools are not
 /// (Section 4).
 /// The hot path is slot-major: queries are grouped by (relation, direction)
-/// so each group ranks against one shared pool via a single batched
-/// ScoreBatch kernel call per query block, parallelized over blocks.
+/// so each group ranks against one shared pool. Each slot's pool is
+/// prepared (gathered + transposed) once, at its first query block, and
+/// reused by the rest of the slot's blocks; every block is scored through
+/// the fused ScoreBlock kernel — one query construction per block emitting
+/// pool and truth scores together — parallelized over blocks.
 SampledEvalResult EvaluateSampled(const KgeModel& model,
                                   const Dataset& dataset,
                                   const FilterIndex& filter, Split split,

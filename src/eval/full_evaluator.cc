@@ -12,15 +12,19 @@ namespace kgeval {
 double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
                     int32_t truth, float truth_score,
                     const std::vector<int32_t>& answers, TieBreak tie) {
-  // Branch-free sortedness sweep; candidate pools arrive sorted (the
-  // SampledCandidates invariant), so this is the common case.
-  bool sorted = true;
-  for (size_t i = 1; i < n; ++i) {
-    sorted &= candidates[i - 1] <= candidates[i];
-  }
+  // Candidate pools arrive sorted (the SampledCandidates invariant), so
+  // taking the sorted branch is the common case.
+  return FilteredRank(candidates, scores, n, truth, truth_score, answers, tie,
+                      std::is_sorted(candidates, candidates + n));
+}
+
+double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
+                    int32_t truth, float truth_score,
+                    const std::vector<int32_t>& answers, TieBreak tie,
+                    bool candidates_sorted) {
   int64_t higher = 0;
   int64_t tied = 0;
-  if (sorted) {
+  if (candidates_sorted) {
     // Count higher/tied over the whole pool in one vectorizable sweep, then
     // subtract the skipped candidates (truth duplicates and filtered
     // answers) located by binary search — identical counts to the reference
@@ -70,13 +74,12 @@ double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
 
 namespace {
 
-/// Queries per batched kernel call and entities per candidate tile. One
-/// score block is kQueryBlock x kEntityTile floats (~2 MB). The tile is
-/// deliberately large: per-query work that happens once per ScoreBatch call
-/// (TuckER's core contraction, ConvE's conv/FC trunk) repeats once per
-/// tile, so small tiles would multiply it.
+/// Queries per batched kernel call. One score block is kQueryBlock x
+/// entity_tile floats (~2 MB at the default tile). The tile is deliberately
+/// large: per-query work that happens once per kernel call (TuckER's core
+/// contraction, ConvE's conv/FC trunk) repeats once per tile, so small
+/// tiles would multiply it.
 constexpr size_t kQueryBlock = 16;
-constexpr size_t kEntityTile = 32768;
 
 }  // namespace
 
@@ -94,7 +97,7 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
   FullEvalResult result;
   result.ranks.assign(static_cast<size_t>(num_triples) * 2, 0.0);
 
-  // Slot-major order, sharing the batched ScoreBatch kernel with the sampled
+  // Slot-major order, sharing the fused ScoreBlock kernel with the sampled
   // evaluator: queries are grouped by (relation, direction) and the entity
   // range acts as the shared candidate pool, swept in cache-sized tiles.
   std::vector<int32_t> all_entities(num_entities);
@@ -104,12 +107,32 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
   const std::vector<SlotBlock> blocks =
       BuildSlotBlocks(by_relation, kQueryBlock);
 
+  // Prepare every entity tile once per evaluation; each slot block then
+  // sweeps the prepared tiles instead of re-gathering/transposing the same
+  // entity rows per block (the dominant per-block overhead PR 1 paid).
+  const size_t tile_size = std::max<size_t>(1, options.entity_tile);
+  const size_t num_tiles =
+      (static_cast<size_t>(num_entities) + tile_size - 1) / tile_size;
+  std::vector<CandidateBlock> tiles(num_tiles);
+  ParallelFor(
+      0, num_tiles,
+      [&](size_t lo, size_t hi) {
+        for (size_t t = lo; t < hi; ++t) {
+          const size_t e0 = t * tile_size;
+          const size_t e1 =
+              std::min(static_cast<size_t>(num_entities), e0 + tile_size);
+          model.PrepareCandidates(all_entities.data() + e0, e1 - e0,
+                                  &tiles[t]);
+        }
+      },
+      /*min_chunk=*/1);
+
   ParallelFor(
       0, blocks.size(),
       [&](size_t block_lo, size_t block_hi) {
         std::vector<int32_t> anchors(kQueryBlock), truths(kQueryBlock);
         std::vector<float> truth_scores(kQueryBlock);
-        std::vector<float> scores(kQueryBlock * kEntityTile);
+        std::vector<float> scores(kQueryBlock * tile_size);
         std::vector<const std::vector<int32_t>*> answers(kQueryBlock);
         std::vector<int64_t> higher(kQueryBlock), tied(kQueryBlock);
         std::vector<size_t> cursor(kQueryBlock);
@@ -128,16 +151,18 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
             tied[q] = 0;
             cursor[q] = 0;
           }
-          model.ScorePairs(anchors.data(), truths.data(), qb, block.relation,
-                           block.direction, truth_scores.data());
-          for (int32_t e0 = 0; e0 < num_entities;
-               e0 += static_cast<int32_t>(kEntityTile)) {
+          for (size_t ti = 0; ti < num_tiles; ++ti) {
+            const int32_t e0 = static_cast<int32_t>(ti * tile_size);
             const int32_t e1 = std::min(
-                num_entities, e0 + static_cast<int32_t>(kEntityTile));
+                num_entities, e0 + static_cast<int32_t>(tile_size));
             const size_t tile = static_cast<size_t>(e1 - e0);
-            model.ScoreBatch(anchors.data(), qb, block.relation,
-                             block.direction, all_entities.data() + e0, tile,
-                             scores.data());
+            // The first tile's fused call also emits the truth scores, so
+            // the block runs one query construction fewer than a separate
+            // ScorePairs pass would.
+            model.ScoreBlock(
+                anchors.data(), ti == 0 ? truths.data() : nullptr, qb,
+                block.relation, block.direction, tiles[ti], scores.data(),
+                ti == 0 ? truth_scores.data() : nullptr);
             for (size_t q = 0; q < qb; ++q) {
               const std::vector<int32_t>& ans = *answers[q];
               const float truth_score = truth_scores[q];

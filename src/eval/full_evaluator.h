@@ -16,6 +16,11 @@ struct FullEvalOptions {
   /// Cap on evaluated triples (0 = all). Deterministic prefix of the split;
   /// used by benches to bound the cost of the ground-truth computation.
   int64_t max_triples = 0;
+  /// Entities per candidate tile. Each tile is prepared (gathered +
+  /// transposed) once per evaluation and reused by every slot block; one
+  /// score block is 16 x entity_tile floats. Small values force multi-tile
+  /// sweeps (used by tests); ranks are identical for any tile size.
+  size_t entity_tile = 32768;
 };
 
 /// Result of a full evaluation: aggregated metrics plus per-query ranks
@@ -36,8 +41,20 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
 /// filtered candidates removed: `answers` is the sorted list of known true
 /// answers for the query (must contain `truth`). `scores[i]` corresponds to
 /// `candidates[i]`; candidates may contain duplicates of `truth` (skipped).
-/// Fastest when `candidates` is sorted (one merge walk over `answers`, the
-/// layout candidate pools arrive in); unsorted arrays stay correct.
+/// Fastest when `candidates` is sorted (one vectorized sweep plus binary
+/// searches over `answers`, the layout candidate pools arrive in); unsorted
+/// arrays stay correct. `candidates_sorted` states whether the array is
+/// non-decreasing — pool sortedness is a SampledCandidates invariant, so
+/// callers compute it once per pool (PrepareCandidates records it) instead
+/// of paying an O(n) sweep per query.
+double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
+                    int32_t truth, float truth_score,
+                    const std::vector<int32_t>& answers, TieBreak tie,
+                    bool candidates_sorted);
+
+/// Convenience overload that sweeps `candidates` for sortedness first; for
+/// repeated ranking against one pool prefer the precomputed-sortedness
+/// overload above.
 double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
                     int32_t truth, float truth_score,
                     const std::vector<int32_t>& answers, TieBreak tie);

@@ -77,10 +77,12 @@ KpResult ComputeKp(const KgeModel& model, const Dataset& dataset, Split split,
   }
   std::vector<float> pos_scores(positive_triples.size());
   std::vector<float> neg_scores(negative_triples.size());
-  ScoreTriples(model, positive_triples.data(), positive_triples.size(),
-               pos_scores.data());
-  ScoreTriples(model, negative_triples.data(), negative_triples.size(),
-               neg_scores.data());
+  // Fused path: each positive and its tail corruption share the anchor's
+  // query construction (KP+ / KP- weights are bit-identical to two
+  // independent ScoreTriples passes).
+  ScoreTriplesWithNegatives(model, positive_triples.data(),
+                            positive_triples.size(), negative_triples.data(),
+                            /*k=*/1, pos_scores.data(), neg_scores.data());
   for (size_t i = 0; i < positive_edges.size(); ++i) {
     positive_edges[i].weight = Sigmoid(pos_scores[i]);
     negative_edges[i].weight = Sigmoid(neg_scores[i]);

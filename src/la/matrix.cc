@@ -71,4 +71,29 @@ void NegL1ScoreBatch(const Matrix& queries, const Matrix& gathered_t,
   }
 }
 
+void NegComplexDistScoreBatch(const Matrix& queries, const Matrix& gathered_t,
+                              float eps, float* out) {
+  KGEVAL_CHECK(queries.cols() == gathered_t.rows());
+  KGEVAL_CHECK(queries.cols() % 2 == 0);
+  const size_t q = queries.rows();
+  const size_t n = gathered_t.cols();
+  const size_t m = queries.cols() / 2;
+  for (size_t i = 0; i < q; ++i) {
+    const float* a = queries.Row(i);
+    float* __restrict o = out + i * n;
+    std::fill(o, o + n, 0.0f);
+    for (size_t j = 0; j < m; ++j) {
+      const float qre = a[j], qim = a[m + j];
+      const float* __restrict gre = gathered_t.Row(j);
+      const float* __restrict gim = gathered_t.Row(m + j);
+      for (size_t c = 0; c < n; ++c) {
+        const float dre = qre - gre[c];
+        const float dim = qim - gim[c];
+        o[c] += std::sqrt(dre * dre + dim * dim + eps);
+      }
+    }
+    for (size_t c = 0; c < n; ++c) o[c] = -o[c];
+  }
+}
+
 }  // namespace kgeval

@@ -89,6 +89,15 @@ void DotScoreBatch(const Matrix& queries, const Matrix& gathered_t,
 void NegL1ScoreBatch(const Matrix& queries, const Matrix& gathered_t,
                      float* out);
 
+/// out[q * n + c] = -sum_j sqrt((q_re - g_re)^2 + (q_im - g_im)^2 + eps)
+/// over the m = rows/2 complex coordinates: pairwise negative complex
+/// distance over split re/im planes. Rows [0, m) of `gathered_t` are the
+/// candidates' real plane and rows [m, 2m) the imaginary plane (the natural
+/// split a transposed gather produces for the complex-valued models). Same
+/// layout and bit-exactness guarantee as DotScoreBatch.
+void NegComplexDistScoreBatch(const Matrix& queries, const Matrix& gathered_t,
+                              float eps, float* out);
+
 }  // namespace kgeval
 
 #endif  // KGEVAL_LA_MATRIX_H_

@@ -23,8 +23,17 @@ class ComplEx : public KgeModel {
                   float* out) const override;
 
   void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                  size_t num_queries, size_t candidates_per_query,
+                  int32_t relation, QueryDirection direction,
+                  float* out) const override;
+
+  void PrepareCandidates(const int32_t* candidates, size_t n,
+                         CandidateBlock* block) const override;
+
+  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
                   size_t num_queries, int32_t relation,
-                  QueryDirection direction, float* out) const override;
+                  QueryDirection direction, const CandidateBlock& block,
+                  float* pool_scores, float* truth_scores) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;

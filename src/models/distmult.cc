@@ -45,23 +45,58 @@ void DistMult::ScoreCandidates(int32_t anchor, int32_t relation,
 }
 
 void DistMult::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                          int32_t relation, QueryDirection /*direction*/,
+                          int32_t relation, QueryDirection direction,
                           const int32_t* candidates, size_t n,
                           float* out) const {
-  Matrix queries, gathered;
-  BuildQueries(anchors, num_queries, relation, &queries);
-  GatherRowsT(entities_, candidates, n, &gathered);
-  DotScoreBatch(queries, gathered, out);
+  CandidateBlock block;
+  PrepareCandidates(candidates, n, &block);
+  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
+             nullptr);
 }
 
 void DistMult::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                          size_t num_queries, int32_t relation,
-                          QueryDirection /*direction*/, float* out) const {
+                          size_t num_queries, size_t candidates_per_query,
+                          int32_t relation, QueryDirection /*direction*/,
+                          float* out) const {
   const size_t d = entities_.cols();
+  const size_t k = candidates_per_query;
   Matrix queries;
   BuildQueries(anchors, num_queries, relation, &queries);
   for (size_t q = 0; q < num_queries; ++q) {
-    out[q] = Dot(queries.Row(q), entities_.Row(candidates[q]), d);
+    for (size_t j = 0; j < k; ++j) {
+      out[q * k + j] =
+          Dot(queries.Row(q), entities_.Row(candidates[q * k + j]), d);
+    }
+  }
+}
+
+void DistMult::PrepareCandidates(const int32_t* candidates, size_t n,
+                                 CandidateBlock* block) const {
+  FillCandidateIds(candidates, n, block);
+  GatherRowsT(entities_, candidates, n, &block->gathered_t);
+  block->prepared = true;
+}
+
+void DistMult::ScoreBlock(const int32_t* anchors, const int32_t* truths,
+                          size_t num_queries, int32_t relation,
+                          QueryDirection direction,
+                          const CandidateBlock& block, float* pool_scores,
+                          float* truth_scores) const {
+  if (!block.prepared) {
+    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
+                         block, pool_scores, truth_scores);
+    return;
+  }
+  const size_t d = entities_.cols();
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, &queries);
+  if (pool_scores != nullptr) {
+    DotScoreBatch(queries, block.gathered_t, pool_scores);
+  }
+  if (truth_scores != nullptr) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      truth_scores[q] = Dot(queries.Row(q), entities_.Row(truths[q]), d);
+    }
   }
 }
 

@@ -1,5 +1,6 @@
 #include "models/kge_model.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "models/complex.h"
@@ -9,6 +10,7 @@
 #include "models/rotate.h"
 #include "models/transe.h"
 #include "models/tucker.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace kgeval {
@@ -61,11 +63,43 @@ void KgeModel::ScoreBatch(const int32_t* anchors, size_t num_queries,
 }
 
 void KgeModel::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                          size_t num_queries, int32_t relation,
-                          QueryDirection direction, float* out) const {
+                          size_t num_queries, size_t candidates_per_query,
+                          int32_t relation, QueryDirection direction,
+                          float* out) const {
   for (size_t q = 0; q < num_queries; ++q) {
-    ScoreCandidates(anchors[q], relation, direction, &candidates[q], 1,
-                    &out[q]);
+    ScoreCandidates(anchors[q], relation, direction,
+                    candidates + q * candidates_per_query,
+                    candidates_per_query, out + q * candidates_per_query);
+  }
+}
+
+void KgeModel::FillCandidateIds(const int32_t* candidates, size_t n,
+                                CandidateBlock* block) {
+  block->ids.assign(candidates, candidates + n);
+  block->sorted = std::is_sorted(candidates, candidates + n);
+  block->prepared = false;
+  block->bias.clear();
+}
+
+void KgeModel::PrepareCandidates(const int32_t* candidates, size_t n,
+                                 CandidateBlock* block) const {
+  FillCandidateIds(candidates, n, block);
+}
+
+void KgeModel::ScoreBlock(const int32_t* anchors, const int32_t* truths,
+                          size_t num_queries, int32_t relation,
+                          QueryDirection direction,
+                          const CandidateBlock& block, float* pool_scores,
+                          float* truth_scores) const {
+  // Unfused fallback for blocks without a model-specific layout: pays one
+  // query construction per requested output, like the pre-fusion engine.
+  if (pool_scores != nullptr) {
+    ScoreBatch(anchors, num_queries, relation, direction, block.ids.data(),
+               block.ids.size(), pool_scores);
+  }
+  if (truth_scores != nullptr) {
+    ScorePairs(anchors, truths, num_queries, 1, relation, direction,
+               truth_scores);
   }
 }
 
@@ -89,9 +123,55 @@ void ScoreTriples(const KgeModel& model, const Triple* triples, size_t n,
       anchors[i] = triples[idx[i]].head;
       cands[i] = triples[idx[i]].tail;
     }
-    model.ScorePairs(anchors.data(), cands.data(), idx.size(), r,
+    model.ScorePairs(anchors.data(), cands.data(), idx.size(), 1, r,
                      QueryDirection::kTail, scores.data());
     for (size_t i = 0; i < idx.size(); ++i) out[idx[i]] = scores[i];
+  }
+}
+
+void ScoreTriplesWithNegatives(const KgeModel& model, const Triple* positives,
+                               size_t n, const Triple* negatives, size_t k,
+                               float* pos_out, float* neg_out) {
+  if (k == 0) {
+    ScoreTriples(model, positives, n, pos_out);
+    return;
+  }
+  // Group by the positives' relation; each positive's k corruptions share
+  // its head and relation, so one ScorePairs row of k + 1 candidates
+  // ([truth, corruptions...]) scores them all off one query construction.
+  std::vector<std::vector<int32_t>> by_relation(model.num_relations());
+  for (size_t i = 0; i < n; ++i) {
+    by_relation[positives[i].relation].push_back(static_cast<int32_t>(i));
+  }
+  const size_t stride = k + 1;
+  std::vector<int32_t> anchors, cands;
+  std::vector<float> scores;
+  for (int32_t r = 0; r < model.num_relations(); ++r) {
+    const std::vector<int32_t>& idx = by_relation[r];
+    if (idx.empty()) continue;
+    anchors.resize(idx.size());
+    cands.resize(idx.size() * stride);
+    scores.resize(idx.size() * stride);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const size_t p = static_cast<size_t>(idx[i]);
+      anchors[i] = positives[p].head;
+      cands[i * stride] = positives[p].tail;
+      for (size_t j = 0; j < k; ++j) {
+        const Triple& neg = negatives[p * k + j];
+        KGEVAL_DCHECK(neg.head == positives[p].head &&
+                      neg.relation == positives[p].relation);
+        cands[i * stride + 1 + j] = neg.tail;
+      }
+    }
+    model.ScorePairs(anchors.data(), cands.data(), idx.size(), stride, r,
+                     QueryDirection::kTail, scores.data());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const size_t p = static_cast<size_t>(idx[i]);
+      pos_out[p] = scores[i * stride];
+      for (size_t j = 0; j < k; ++j) {
+        neg_out[p * k + j] = scores[i * stride + 1 + j];
+      }
+    }
   }
 }
 

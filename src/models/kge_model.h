@@ -7,6 +7,7 @@
 
 #include "graph/triple.h"
 #include "la/adam.h"
+#include "la/matrix.h"
 #include "util/status.h"
 
 namespace kgeval {
@@ -32,6 +33,25 @@ struct ModelOptions {
   AdamOptions adam;
   float l2 = 0.0f;             // Weight decay on touched rows.
   uint64_t seed = 7;
+};
+
+/// A candidate pool prepared once and scored many times. PrepareCandidates
+/// fills the pool's ids plus a model-specific gathered layout: the dot- and
+/// distance-kernel models store the pool's entity embeddings transposed
+/// (dim x n, candidates contiguous — for ComplEx/RotatE the top/bottom
+/// halves of the tile are the split re/im planes); ConvE additionally
+/// gathers the per-candidate entity bias. Preparing costs one gather +
+/// transpose; every subsequent ScoreBlock call against the block reuses it,
+/// removing the per-call re-gather the batched engine used to pay.
+struct CandidateBlock {
+  std::vector<int32_t> ids;  // The pool, in caller order.
+  bool sorted = false;       // ids are non-decreasing (a pool invariant the
+                             // rankers exploit; computed once here).
+  bool prepared = false;     // Model-specific layout was filled in.
+  Matrix gathered_t;         // Transposed candidate tile (see above).
+  std::vector<float> bias;   // ConvE: per-candidate entity bias.
+
+  size_t size() const { return ids.size(); }
 };
 
 /// A knowledge-graph embedding model: scores triples and supports per-triple
@@ -73,14 +93,39 @@ class KgeModel {
                           const int32_t* candidates, size_t n,
                           float* out) const;
 
-  /// Scores query q against its *own* single candidate: out[q] is the score
-  /// of candidates[q] for anchors[q]. All queries share (relation,
-  /// direction). Used to score each query's true answer alongside a
-  /// ScoreBatch over the shared pool, and by the triple-at-a-time scorers
-  /// (AUC, KP) once they group triples by relation.
+  /// Scores query q against its *own* `candidates_per_query` candidates:
+  /// out[q * k + j] is the score of candidates[q * k + j] for anchors[q]
+  /// (k = candidates_per_query). All queries share (relation, direction).
+  /// The per-anchor query representation is built once and reused across
+  /// its k candidates, so the relation-grouped triple scorers (AUC, KP)
+  /// score a positive and all its corruptions in one query construction —
+  /// the fusion that matters for ConvE/TuckER, whose query construction
+  /// dominates per-triple cost.
   virtual void ScorePairs(const int32_t* anchors, const int32_t* candidates,
+                          size_t num_queries, size_t candidates_per_query,
+                          int32_t relation, QueryDirection direction,
+                          float* out) const;
+
+  /// Gathers (and transposes) the pool's embeddings once into the
+  /// model-specific CandidateBlock layout. The base implementation only
+  /// records the ids and the pool's sortedness; models override it to add
+  /// their gathered tile. Thread-safe, like all scoring.
+  virtual void PrepareCandidates(const int32_t* candidates, size_t n,
+                                 CandidateBlock* block) const;
+
+  /// Fused pool + truth scoring against a prepared block: builds the
+  /// per-anchor query representation ONCE and emits both the pool score
+  /// matrix (pool_scores[q * block.size() + c], bit-identical to
+  /// ScoreCandidates) and each query's own-truth score (truth_scores[q],
+  /// bit-identical to ScorePairs). Either output may be null to skip it
+  /// (`truths` may be null iff truth_scores is). Halves query construction
+  /// versus a ScoreBatch + ScorePairs pair — the dominant per-query cost
+  /// for ConvE (conv/FC trunk) and TuckER (core contraction).
+  virtual void ScoreBlock(const int32_t* anchors, const int32_t* truths,
                           size_t num_queries, int32_t relation,
-                          QueryDirection direction, float* out) const;
+                          QueryDirection direction,
+                          const CandidateBlock& block, float* pool_scores,
+                          float* truth_scores) const;
 
   /// Scores every entity for a query (out has num_entities() slots).
   void ScoreAll(int32_t anchor, int32_t relation, QueryDirection direction,
@@ -115,6 +160,12 @@ class KgeModel {
   virtual void CollectParameters(std::vector<NamedParameter>* out) = 0;
 
  protected:
+  /// Fills the layout-independent CandidateBlock fields (ids + sortedness)
+  /// and resets the model-specific ones; every PrepareCandidates override
+  /// starts here before adding its gathered tile.
+  static void FillCandidateIds(const int32_t* candidates, size_t n,
+                               CandidateBlock* block);
+
   ModelType type_;
   int32_t num_entities_;
   int32_t num_relations_;
@@ -127,6 +178,17 @@ class KgeModel {
 /// out[i] corresponds to triples[i].
 void ScoreTriples(const KgeModel& model, const Triple* triples, size_t n,
                   float* out);
+
+/// Fused positive/corruption triple scoring: positives[i] and its k
+/// corruptions negatives[i * k + j] — which must share positives[i]'s head
+/// and relation (only the tail is corrupted) — are scored in one
+/// relation-grouped pass where each positive's query representation is
+/// built once and dotted with its truth and all its corruptions.
+/// pos_out[i] and neg_out[i * k + j] follow the input order and are
+/// bit-identical to independent ScoreTriples calls over the two lists.
+void ScoreTriplesWithNegatives(const KgeModel& model, const Triple* positives,
+                               size_t n, const Triple* negatives, size_t k,
+                               float* pos_out, float* neg_out);
 
 /// Creates a model of the given type. Fails on invalid options (e.g., an odd
 /// dimension for the complex-valued models).

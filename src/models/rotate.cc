@@ -83,39 +83,58 @@ void RotatE::ScoreBatch(const int32_t* anchors, size_t num_queries,
                         int32_t relation, QueryDirection direction,
                         const int32_t* candidates, size_t n,
                         float* out) const {
-  Matrix queries, gathered;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  GatherRowsT(entities_, candidates, n, &gathered);
-  // Transposed layout: accumulate the per-candidate distance across complex
-  // coordinates j, exactly in NegComplexDistance's order per cell but with
-  // candidates as independent vector lanes.
-  const int32_t m = half_;
-  for (size_t q = 0; q < num_queries; ++q) {
-    const float* row = queries.Row(q);
-    float* __restrict o = out + q * n;
-    std::fill(o, o + n, 0.0f);
-    for (int32_t j = 0; j < m; ++j) {
-      const float qre = row[j], qim = row[m + j];
-      const float* __restrict gre = gathered.Row(j);
-      const float* __restrict gim = gathered.Row(m + j);
-      for (size_t c = 0; c < n; ++c) {
-        const float dre = qre - gre[c];
-        const float dim = qim - gim[c];
-        o[c] += std::sqrt(dre * dre + dim * dim + kEps);
-      }
-    }
-    for (size_t c = 0; c < n; ++c) o[c] = -o[c];
-  }
+  CandidateBlock block;
+  PrepareCandidates(candidates, n, &block);
+  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
+             nullptr);
 }
 
 void RotatE::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                        size_t num_queries, int32_t relation,
-                        QueryDirection direction, float* out) const {
+                        size_t num_queries, size_t candidates_per_query,
+                        int32_t relation, QueryDirection direction,
+                        float* out) const {
+  const size_t k = candidates_per_query;
   Matrix queries;
   BuildQueries(anchors, num_queries, relation, direction, &queries);
   for (size_t q = 0; q < num_queries; ++q) {
-    out[q] = NegComplexDistance(queries.Row(q),
-                                entities_.Row(candidates[q]), half_);
+    for (size_t j = 0; j < k; ++j) {
+      out[q * k + j] = NegComplexDistance(
+          queries.Row(q), entities_.Row(candidates[q * k + j]), half_);
+    }
+  }
+}
+
+void RotatE::PrepareCandidates(const int32_t* candidates, size_t n,
+                               CandidateBlock* block) const {
+  // The transposed tile's top/bottom halves are the candidates' re/im
+  // planes, which NegComplexDistScoreBatch pairs per complex coordinate.
+  FillCandidateIds(candidates, n, block);
+  GatherRowsT(entities_, candidates, n, &block->gathered_t);
+  block->prepared = true;
+}
+
+void RotatE::ScoreBlock(const int32_t* anchors, const int32_t* truths,
+                        size_t num_queries, int32_t relation,
+                        QueryDirection direction, const CandidateBlock& block,
+                        float* pool_scores, float* truth_scores) const {
+  if (!block.prepared) {
+    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
+                         block, pool_scores, truth_scores);
+    return;
+  }
+  Matrix queries;
+  BuildQueries(anchors, num_queries, relation, direction, &queries);
+  if (pool_scores != nullptr) {
+    // Per cell this accumulates the distance across complex coordinates in
+    // exactly NegComplexDistance's order, with candidates as independent
+    // vector lanes.
+    NegComplexDistScoreBatch(queries, block.gathered_t, kEps, pool_scores);
+  }
+  if (truth_scores != nullptr) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      truth_scores[q] = NegComplexDistance(queries.Row(q),
+                                           entities_.Row(truths[q]), half_);
+    }
   }
 }
 

@@ -74,7 +74,8 @@ TEST_P(ScoreBatchTest, ScorePairsMatchesSingleCandidateCalls) {
     for (QueryDirection dir :
          {QueryDirection::kTail, QueryDirection::kHead}) {
       model->ScorePairs(anchors.data(), candidates.data(), anchors.size(),
-                        relation, dir, batched.data());
+                        /*candidates_per_query=*/1, relation, dir,
+                        batched.data());
       for (size_t i = 0; i < anchors.size(); ++i) {
         float scalar = 0.0f;
         model->ScoreCandidates(anchors[i], relation, dir, &candidates[i], 1,
@@ -84,6 +85,121 @@ TEST_P(ScoreBatchTest, ScorePairsMatchesSingleCandidateCalls) {
       }
     }
   }
+}
+
+TEST_P(ScoreBatchTest, ScorePairsMultiCandidateMatchesExactly) {
+  auto model = Make();
+  const std::vector<int32_t> anchors = {1, 4, 19, 0};
+  // Three candidates per query, with repeats within and across queries.
+  const std::vector<int32_t> candidates = {7, 7, 2,  38, 0, 12,
+                                           3, 9, 39, 7,  1, 1};
+  constexpr size_t kPer = 3;
+  std::vector<float> fused(anchors.size() * kPer);
+  std::vector<float> scalar(kPer);
+  for (int32_t relation : {0, 3}) {
+    for (QueryDirection dir :
+         {QueryDirection::kTail, QueryDirection::kHead}) {
+      model->ScorePairs(anchors.data(), candidates.data(), anchors.size(),
+                        kPer, relation, dir, fused.data());
+      for (size_t i = 0; i < anchors.size(); ++i) {
+        model->ScoreCandidates(anchors[i], relation, dir,
+                               candidates.data() + i * kPer, kPer,
+                               scalar.data());
+        for (size_t j = 0; j < kPer; ++j) {
+          EXPECT_EQ(fused[i * kPer + j], scalar[j])
+              << ModelTypeName(GetParam()) << " query " << i << " candidate "
+              << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ScoreBatchTest, PreparedScoreBlockMatchesScalarExactly) {
+  auto model = Make();
+  // Unsorted pool with duplicate candidates: PrepareCandidates must record
+  // the unsortedness and ScoreBlock must keep duplicate columns identical.
+  const std::vector<int32_t> candidates = {11, 3, 27, 3, 0, 39, 18, 3};
+  const std::vector<int32_t> anchors = {0, 5, 5, 17, 39, 2};
+  const std::vector<int32_t> truths = {2, 9, 9, 0, 39, 24};
+  const size_t n = candidates.size();
+  const size_t q = anchors.size();
+  CandidateBlock block;
+  model->PrepareCandidates(candidates.data(), n, &block);
+  EXPECT_EQ(block.ids, candidates);
+  EXPECT_FALSE(block.sorted);
+  EXPECT_TRUE(block.prepared);
+  std::vector<float> pool_scores(q * n), truth_scores(q);
+  std::vector<float> scalar(n), pair(1);
+  for (int32_t relation : {0, 5}) {
+    for (QueryDirection dir :
+         {QueryDirection::kTail, QueryDirection::kHead}) {
+      model->ScoreBlock(anchors.data(), truths.data(), q, relation, dir,
+                        block, pool_scores.data(), truth_scores.data());
+      for (size_t i = 0; i < q; ++i) {
+        model->ScoreCandidates(anchors[i], relation, dir, candidates.data(),
+                               n, scalar.data());
+        for (size_t c = 0; c < n; ++c) {
+          // Bit-identical, not approximately equal: the prepared kernels
+          // accumulate in exactly the scalar order.
+          EXPECT_EQ(pool_scores[i * n + c], scalar[c])
+              << ModelTypeName(GetParam()) << " query " << i << " candidate "
+              << c;
+        }
+        model->ScoreCandidates(anchors[i], relation, dir, &truths[i], 1,
+                               pair.data());
+        EXPECT_EQ(truth_scores[i], pair[0])
+            << ModelTypeName(GetParam()) << " truth " << i;
+      }
+    }
+  }
+}
+
+TEST_P(ScoreBatchTest, PreparedScoreBlockSkipsNullOutputs) {
+  auto model = Make();
+  const std::vector<int32_t> candidates = {0, 5, 39};
+  const std::vector<int32_t> anchors = {3, 12};
+  const std::vector<int32_t> truths = {8, 0};
+  CandidateBlock block;
+  model->PrepareCandidates(candidates.data(), candidates.size(), &block);
+  EXPECT_TRUE(block.sorted);
+  // Pool-only and truth-only calls must match the fused call's outputs.
+  std::vector<float> fused_pool(anchors.size() * candidates.size());
+  std::vector<float> fused_truth(anchors.size());
+  model->ScoreBlock(anchors.data(), truths.data(), anchors.size(), 1,
+                    QueryDirection::kTail, block, fused_pool.data(),
+                    fused_truth.data());
+  std::vector<float> only_pool(fused_pool.size());
+  model->ScoreBlock(anchors.data(), nullptr, anchors.size(), 1,
+                    QueryDirection::kTail, block, only_pool.data(), nullptr);
+  std::vector<float> only_truth(fused_truth.size());
+  model->ScoreBlock(anchors.data(), truths.data(), anchors.size(), 1,
+                    QueryDirection::kTail, block, nullptr, only_truth.data());
+  EXPECT_EQ(fused_pool, only_pool);
+  EXPECT_EQ(fused_truth, only_truth);
+}
+
+TEST_P(ScoreBatchTest, UnpreparedBlockFallsBackToBatchedPath) {
+  auto model = Make();
+  const std::vector<int32_t> candidates = {11, 3, 27};
+  const std::vector<int32_t> anchors = {0, 5};
+  const std::vector<int32_t> truths = {2, 9};
+  // A block the base class filled in (ids only, no gathered layout).
+  CandidateBlock block;
+  block.ids = candidates;
+  std::vector<float> pool_scores(anchors.size() * candidates.size());
+  std::vector<float> truth_scores(anchors.size());
+  model->ScoreBlock(anchors.data(), truths.data(), anchors.size(), 0,
+                    QueryDirection::kTail, block, pool_scores.data(),
+                    truth_scores.data());
+  std::vector<float> want_pool(pool_scores.size());
+  model->ScoreBatch(anchors.data(), anchors.size(), 0, QueryDirection::kTail,
+                    candidates.data(), candidates.size(), want_pool.data());
+  EXPECT_EQ(pool_scores, want_pool);
+  std::vector<float> want_truth(truth_scores.size());
+  model->ScorePairs(anchors.data(), truths.data(), anchors.size(), 1, 0,
+                    QueryDirection::kTail, want_truth.data());
+  EXPECT_EQ(truth_scores, want_truth);
 }
 
 TEST_P(ScoreBatchTest, EmptyBatchAndEmptyPoolAreNoops) {
@@ -96,6 +212,38 @@ TEST_P(ScoreBatchTest, EmptyBatchAndEmptyPoolAreNoops) {
   // No candidates: must not touch out.
   model->ScoreBatch(&anchor, 1, 0, QueryDirection::kTail, nullptr, 0,
                     nullptr);
+}
+
+TEST_P(ScoreBatchTest, PreparedPoolLargerThanOneEntityTile) {
+  // A pool wider than the full evaluator's default 32768-entity tile,
+  // scored through one prepared block: exercises the gather/transpose and
+  // kernels well past the usual tile width.
+  auto model = Make();
+  constexpr size_t kPool = 40000;
+  std::vector<int32_t> candidates(kPool);
+  for (size_t c = 0; c < kPool; ++c) {
+    candidates[c] = static_cast<int32_t>((c * 7) % 40);  // Many duplicates.
+  }
+  const std::vector<int32_t> anchors = {4, 31};
+  const std::vector<int32_t> truths = {9, 0};
+  CandidateBlock block;
+  model->PrepareCandidates(candidates.data(), kPool, &block);
+  EXPECT_FALSE(block.sorted);
+  std::vector<float> pool_scores(anchors.size() * kPool);
+  std::vector<float> truth_scores(anchors.size());
+  model->ScoreBlock(anchors.data(), truths.data(), anchors.size(), 2,
+                    QueryDirection::kTail, block, pool_scores.data(),
+                    truth_scores.data());
+  std::vector<float> scalar(kPool);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    model->ScoreCandidates(anchors[i], 2, QueryDirection::kTail,
+                           candidates.data(), kPool, scalar.data());
+    for (size_t c = 0; c < kPool; ++c) {
+      ASSERT_EQ(pool_scores[i * kPool + c], scalar[c])
+          << ModelTypeName(GetParam()) << " query " << i << " candidate "
+          << c;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ScoreBatchTest,
@@ -128,17 +276,24 @@ TEST(SlotMajorEvaluatorTest, RanksIdenticalToScalarTripleMajorOrder) {
     auto model = CreateModel(type, dataset.num_entities(),
                              dataset.num_relations(), SmallOptions())
                      .ValueOrDie();
-    const SampledEvalResult batched =
+    // Default engine: pools prepared once + fused ScoreBlock.
+    const SampledEvalResult prepared =
         EvaluateSampled(*model, dataset, filter, Split::kTest, pools);
+    // PR 1 engine: per-block gather through ScoreBatch + ScorePairs.
+    SampledEvalOptions unfused;
+    unfused.prepared_pools = false;
+    const SampledEvalResult batched = EvaluateSampled(
+        *model, dataset, filter, Split::kTest, pools, unfused);
     const SampledEvalResult scalar =
         EvaluateSampledScalar(*model, dataset, filter, Split::kTest, pools);
-    ASSERT_EQ(batched.ranks.size(), scalar.ranks.size());
-    for (size_t i = 0; i < batched.ranks.size(); ++i) {
-      EXPECT_EQ(batched.ranks[i], scalar.ranks[i])
+    ASSERT_EQ(prepared.ranks.size(), scalar.ranks.size());
+    for (size_t i = 0; i < prepared.ranks.size(); ++i) {
+      EXPECT_EQ(prepared.ranks[i], scalar.ranks[i])
           << ModelTypeName(type) << " query " << i;
     }
-    EXPECT_EQ(batched.scored_candidates, scalar.scored_candidates);
-    EXPECT_DOUBLE_EQ(batched.metrics.mrr, scalar.metrics.mrr);
+    EXPECT_EQ(prepared.ranks, batched.ranks) << ModelTypeName(type);
+    EXPECT_EQ(prepared.scored_candidates, scalar.scored_candidates);
+    EXPECT_DOUBLE_EQ(prepared.metrics.mrr, scalar.metrics.mrr);
   }
 }
 
@@ -208,6 +363,28 @@ TEST(SlotMajorEvaluatorTest, FullRankingUsesBatchedTilingConsistently) {
   }
 }
 
+TEST(SlotMajorEvaluatorTest, SmallEntityTilesMatchDefaultTile) {
+  // Forcing many small prepared tiles must not change a single rank: the
+  // per-tile kernels are bit-identical and the filtered counting walk is
+  // tile-order independent.
+  const Dataset dataset = SynthDataset();
+  const FilterIndex filter(dataset);
+  for (ModelType type : {ModelType::kDistMult, ModelType::kConvE}) {
+    auto model = CreateModel(type, dataset.num_entities(),
+                             dataset.num_relations(), SmallOptions())
+                     .ValueOrDie();
+    FullEvalOptions defaults;
+    defaults.max_triples = 30;
+    const FullEvalResult one_tile =
+        EvaluateFullRanking(*model, dataset, filter, Split::kTest, defaults);
+    FullEvalOptions tiny = defaults;
+    tiny.entity_tile = 64;  // 500 entities -> 8 tiles.
+    const FullEvalResult many_tiles =
+        EvaluateFullRanking(*model, dataset, filter, Split::kTest, tiny);
+    EXPECT_EQ(one_tile.ranks, many_tiles.ranks) << ModelTypeName(type);
+  }
+}
+
 TEST(ScoreTriplesTest, MatchesScoreTriple) {
   const Dataset dataset = SynthDataset();
   auto model = CreateModel(ModelType::kComplEx, dataset.num_entities(),
@@ -219,6 +396,38 @@ TEST(ScoreTriplesTest, MatchesScoreTriple) {
   for (size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(batched[i], model->ScoreTriple(dataset.test()[i]), 1e-5)
         << "triple " << i;
+  }
+}
+
+TEST(ScoreTriplesTest, WithNegativesMatchesIndependentPasses) {
+  const Dataset dataset = SynthDataset();
+  const size_t n = 60;
+  constexpr size_t kNeg = 2;
+  for (ModelType type : kAllModels) {
+    auto model = CreateModel(type, dataset.num_entities(),
+                             dataset.num_relations(), SmallOptions())
+                     .ValueOrDie();
+    // Deterministic tail corruptions sharing each positive's head/relation.
+    std::vector<Triple> negatives;
+    negatives.reserve(n * kNeg);
+    for (size_t i = 0; i < n; ++i) {
+      const Triple& t = dataset.test()[i];
+      for (size_t j = 0; j < kNeg; ++j) {
+        const int32_t corrupt = static_cast<int32_t>(
+            (t.tail + 1 + static_cast<int32_t>(i + j)) %
+            dataset.num_entities());
+        negatives.push_back({t.head, t.relation, corrupt});
+      }
+    }
+    std::vector<float> pos(n), neg(n * kNeg);
+    ScoreTriplesWithNegatives(*model, dataset.test().data(), n,
+                              negatives.data(), kNeg, pos.data(), neg.data());
+    std::vector<float> want_pos(n), want_neg(n * kNeg);
+    ScoreTriples(*model, dataset.test().data(), n, want_pos.data());
+    ScoreTriples(*model, negatives.data(), negatives.size(),
+                 want_neg.data());
+    EXPECT_EQ(pos, want_pos) << ModelTypeName(type);
+    EXPECT_EQ(neg, want_neg) << ModelTypeName(type);
   }
 }
 
