@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/logging.h"
@@ -23,10 +24,16 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.only_dataset = arg.substr(std::strlen("--dataset="));
     } else if (arg == "--json") {
       args.json = true;
+    } else if (arg.rfind("--half-width=", 0) == 0) {
+      args.half_width = std::atof(arg.c_str() + std::strlen("--half-width="));
+      if (args.half_width <= 0.0) {
+        std::fprintf(stderr, "--half-width must be positive\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --paper-scale --fast "
-                   "--epochs=N --dataset=NAME --json)\n",
+                   "--epochs=N --dataset=NAME --json --half-width=X)\n",
                    arg.c_str());
       std::exit(2);
     }

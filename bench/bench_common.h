@@ -13,18 +13,21 @@ namespace kgeval {
 namespace bench {
 
 /// Flags shared by every bench binary:
-///   --paper-scale   use Table 4 dataset sizes instead of the scaled ones
-///   --fast          trim epochs/repetitions for a smoke run
-///   --epochs=N      override the training epoch count
-///   --dataset=NAME  restrict multi-dataset benches to one preset
-///   --json          also write the bench's BENCH_<name>.json (machine-
-///                   readable results; only benches that support it)
+///   --paper-scale     use Table 4 dataset sizes instead of the scaled ones
+///   --fast            trim epochs/repetitions for a smoke run
+///   --epochs=N        override the training epoch count
+///   --dataset=NAME    restrict multi-dataset benches to one preset
+///   --json            also write the bench's BENCH_<name>.json (machine-
+///                     readable results; only benches that support it)
+///   --half-width=X    adaptive evaluation's target confidence half-width
+///                     (benches with an adaptive mode; default 0.01)
 struct BenchArgs {
   bool paper_scale = false;
   bool fast = false;
   int32_t epochs = -1;
   std::string only_dataset;
   bool json = false;
+  double half_width = 0.01;
 };
 
 BenchArgs ParseArgs(int argc, char** argv);

@@ -1,0 +1,151 @@
+#include "core/adaptive_evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "stats/confidence.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace kgeval {
+
+AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
+                                    const Dataset& dataset,
+                                    const FilterIndex& filter, Split split,
+                                    const SampledCandidates& candidates,
+                                    const AdaptiveEvalOptions& options) {
+  WallTimer timer;
+  const std::vector<Triple>& triples = dataset.split(split);
+  const int64_t num_triples = static_cast<int64_t>(triples.size());
+  const int32_t num_r = dataset.num_relations();
+  ValidateQueriedPools(triples, num_triples, num_r, candidates);
+
+  AdaptiveEvalResult result;
+  result.total_queries = 2 * num_triples;
+  result.ranks.assign(static_cast<size_t>(result.total_queries), 0.0);
+
+  // The schedule is a uniform shuffle of *queries*, so every round — and
+  // every prefix of rounds — is a simple random sample of the split's
+  // query set: the running mean is unbiased and the iid interval honest.
+  // (Shuffling slot blocks instead would make rounds cluster samples of
+  // same-relation queries, whose correlated ranks bias small rounds and
+  // shrink the effective sample size far below the query count.) Each
+  // round's queries are regrouped by slot purely for scoring efficiency.
+  Rng rng(options.shuffle_seed);
+  const std::vector<int32_t> order = ShuffledQueryOrder(num_triples, &rng);
+
+  SampledEvalOptions eval_options;
+  eval_options.tie = options.tie;
+  eval_options.prepared_pools = options.prepared_pools;
+
+  const double z = TwoSidedZ(options.confidence);
+  const int64_t query_budget = options.max_triples > 0
+                                   ? std::min<int64_t>(2 * options.max_triples,
+                                                       result.total_queries)
+                                   : result.total_queries;
+  const size_t batch_queries = std::max<size_t>(1, options.batch_queries);
+
+  RankingAccumulator acc;
+  // Per-round slot buckets (head queries rank the domain slot, tail
+  // queries the range slot); cleared and refilled each round, capacity
+  // kept.
+  std::vector<std::vector<int32_t>> head_buckets(num_r);
+  std::vector<std::vector<int32_t>> tail_buckets(num_r);
+  std::vector<SlotBlock> round_blocks;
+  size_t next_query = 0;
+  while (next_query < order.size()) {
+    if (acc.count() >= query_budget) break;
+    // The candidate budget is checked between rounds: the round that
+    // crosses it is finished (at most one round of overshoot).
+    if (options.max_candidates > 0 &&
+        result.scored_candidates >= options.max_candidates) {
+      break;
+    }
+    const size_t take = std::min(
+        {batch_queries, order.size() - next_query,
+         static_cast<size_t>(query_budget - acc.count())});
+    for (std::vector<int32_t>& bucket : head_buckets) bucket.clear();
+    for (std::vector<int32_t>& bucket : tail_buckets) bucket.clear();
+    const size_t round_begin = next_query;
+    for (size_t k = 0; k < take; ++k) {
+      const int32_t qid = order[next_query + k];
+      const int32_t i = qid >> 1;
+      const int32_t relation = triples[i].relation;
+      ((qid & 1) ? head_buckets : tail_buckets)[relation].push_back(i);
+    }
+    next_query += take;
+    // Slot-contiguous blocks over the (now stable) round buckets; the
+    // per-slot groups are small, so blocks rarely fill kSampledQueryBlock.
+    round_blocks.clear();
+    for (int32_t r = 0; r < num_r; ++r) {
+      for (QueryDirection dir :
+           {QueryDirection::kHead, QueryDirection::kTail}) {
+        const std::vector<int32_t>& bucket =
+            dir == QueryDirection::kHead ? head_buckets[r] : tail_buckets[r];
+        for (size_t lo = 0; lo < bucket.size(); lo += kSampledQueryBlock) {
+          round_blocks.push_back(
+              {r, dir, &bucket, lo,
+               std::min(bucket.size(), lo + kSampledQueryBlock)});
+        }
+      }
+    }
+    const std::vector<std::pair<size_t, size_t>> chunks =
+        PartitionAtSlotBoundaries(round_blocks, num_r,
+                                  GlobalThreadPool()->num_threads() * 4);
+    std::atomic<int64_t> scored{0};
+    ParallelFor(
+        0, chunks.size(),
+        [&](size_t chunk_lo, size_t chunk_hi) {
+          SlotBlockScratch scratch;
+          int64_t local_scored = 0;
+          for (size_t c = chunk_lo; c < chunk_hi; ++c) {
+            local_scored += ScoreSlotBlocks(
+                model, triples, filter, candidates, num_r, round_blocks,
+                chunks[c].first, chunks[c].second, eval_options, &scratch,
+                result.ranks.data());
+          }
+          scored.fetch_add(local_scored, std::memory_order_relaxed);
+        },
+        /*min_chunk=*/1);
+    result.scored_candidates += scored.load();
+
+    // Fold the round's ranks in schedule order: the scored ranks are
+    // bit-identical however the chunks were threaded, so the accumulator —
+    // and with it the stopping decision — is reproducible.
+    for (size_t k = round_begin; k < next_query; ++k) {
+      acc.Add(result.ranks[static_cast<size_t>(order[k])]);
+    }
+    ++result.rounds;
+
+    double half_width = acc.CiHalfWidth(options.target_metric, z);
+    if (options.finite_population_correction) {
+      half_width *=
+          FinitePopulationCorrection(acc.count(), result.total_queries);
+    }
+    result.half_width_history.push_back(half_width);
+    if (acc.count() >= options.min_queries &&
+        half_width <= options.target_half_width) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.evaluated_queries = acc.count();
+  result.metrics = acc.Metrics();
+  result.ci = acc.Ci(z);
+  if (options.finite_population_correction) {
+    const double fpc =
+        FinitePopulationCorrection(acc.count(), result.total_queries);
+    result.ci.mrr *= fpc;
+    result.ci.hits1 *= fpc;
+    result.ci.hits3 *= fpc;
+    result.ci.hits10 *= fpc;
+    result.ci.mean_rank *= fpc;
+  }
+  result.eval_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace kgeval

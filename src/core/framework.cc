@@ -65,4 +65,19 @@ SampledEvalResult EvaluationFramework::Estimate(const KgeModel& model,
                          eval_options);
 }
 
+AdaptiveEvalResult EvaluationFramework::EstimateAdaptive(
+    const KgeModel& model, const FilterIndex& filter, Split split,
+    const AdaptiveEvalOptions& adaptive) {
+  const std::vector<int32_t> slots = NeededSlots(*dataset_, split);
+  const CandidateSets* sets =
+      options_.strategy == SamplingStrategy::kRandom ? nullptr : &sets_;
+  SampledCandidates pools = DrawCandidates(
+      options_.strategy, sets, dataset_->num_entities(), SampleSize(), slots,
+      2 * dataset_->num_relations(), &rng_);
+  AdaptiveEvalOptions eval_options = adaptive;
+  eval_options.tie = options_.tie;
+  return EvaluateAdaptive(model, *dataset_, filter, split, pools,
+                          eval_options);
+}
+
 }  // namespace kgeval

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "core/adaptive_evaluator.h"
 #include "core/candidate_sets.h"
 #include "core/sampled_evaluator.h"
 #include "core/samplers.h"
@@ -42,6 +43,15 @@ class EvaluationFramework {
   /// FullEvalOptions::max_triples for apples-to-apples comparisons.
   SampledEvalResult Estimate(const KgeModel& model, const FilterIndex& filter,
                              Split split, int64_t max_triples = 0);
+
+  /// Confidence-bounded variant of Estimate: draws fresh pools the same way
+  /// and runs EvaluateAdaptive over them, stopping as soon as the target
+  /// metric's confidence half-width reaches the requested width (see
+  /// AdaptiveEvalOptions). `adaptive.tie` is overridden by the framework's
+  /// configured tie-break so the two estimators stay comparable.
+  AdaptiveEvalResult EstimateAdaptive(const KgeModel& model,
+                                      const FilterIndex& filter, Split split,
+                                      const AdaptiveEvalOptions& adaptive = {});
 
   /// Resolved per-slot sample count n_s.
   int64_t SampleSize() const;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
-#include "eval/slot_blocks.h"
+#include "stats/confidence.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -11,13 +11,110 @@
 namespace kgeval {
 namespace {
 
-/// Queries scored per fused kernel call. Bounds the qb x |pool| score block
-/// (256 x n_s floats); the pool gather itself happens once per slot, not per
-/// block, so the block size only trades score-matrix footprint for call
-/// overhead.
-constexpr size_t kQueryBlock = 256;
+/// Folds every rank into an accumulator (in index order, so the CI is
+/// deterministic) and stamps the result's confidence half-widths.
+void FillCi(double confidence, SampledEvalResult* result) {
+  RankingAccumulator acc;
+  for (double rank : result->ranks) acc.Add(rank);
+  result->ci = acc.Ci(TwoSidedZ(confidence));
+}
 
 }  // namespace
+
+void ValidateQueriedPools(const std::vector<Triple>& triples,
+                          int64_t num_triples, int32_t num_relations,
+                          const SampledCandidates& candidates) {
+  // One flag per slot so each pool is checked once, not once per triple.
+  std::vector<char> queried(2 * static_cast<size_t>(num_relations), 0);
+  for (int64_t i = 0; i < num_triples; ++i) {
+    queried[triples[i].relation] = 1;                  // Head query slot.
+    queried[triples[i].relation + num_relations] = 1;  // Tail query slot.
+  }
+  for (size_t slot = 0; slot < queried.size(); ++slot) {
+    if (!queried[slot]) continue;
+    const size_t n = candidates.pools[slot].size();
+    const size_t relation = slot < static_cast<size_t>(num_relations)
+                                ? slot
+                                : slot - num_relations;
+    KGEVAL_CHECK(n > 0)
+        << "empty candidate pool for queried slot " << slot << " (relation "
+        << relation << ", "
+        << (slot < static_cast<size_t>(num_relations) ? "head" : "tail")
+        << " queries): ranking against an empty pool would report rank 1 "
+        << "for every query of the slot";
+  }
+}
+
+int64_t ScoreSlotBlocks(const KgeModel& model,
+                        const std::vector<Triple>& triples,
+                        const FilterIndex& filter,
+                        const SampledCandidates& candidates,
+                        int32_t num_relations,
+                        const std::vector<SlotBlock>& blocks, size_t begin,
+                        size_t end, const SampledEvalOptions& options,
+                        SlotBlockScratch* scratch, double* ranks) {
+  int64_t scored = 0;
+  for (size_t b = begin; b < end; ++b) {
+    const SlotBlock& block = blocks[b];
+    const bool tail_dir = block.direction == QueryDirection::kTail;
+    const int32_t slot = SlotOf(block, num_relations);
+    const std::vector<int32_t>& pool = candidates.pools[slot];
+    const size_t n = pool.size();
+    const size_t qb = block.end - block.begin;
+    if (scratch->anchors.size() < qb) {
+      scratch->anchors.resize(qb);
+      scratch->truths.resize(qb);
+      scratch->truth_scores.resize(qb);
+    }
+    if (scratch->scores.size() < qb * n) scratch->scores.resize(qb * n);
+    for (size_t q = 0; q < qb; ++q) {
+      const Triple& triple = triples[(*block.triple_idx)[block.begin + q]];
+      scratch->anchors[q] = tail_dir ? triple.head : triple.tail;
+      scratch->truths[q] = tail_dir ? triple.tail : triple.head;
+    }
+    bool pool_sorted = false;
+    if (options.prepared_pools) {
+      // Slot-contiguous schedules keep a slot's blocks adjacent, so the
+      // pool is prepared at its first block (the gather stays hot in cache
+      // for the scoring call right after) and the prepared tile — its
+      // allocation and precomputed sortedness included — is reused by
+      // every following block of the same slot.
+      if (slot != scratch->prepared_slot) {
+        model.PrepareCandidates(pool.data(), n, &scratch->prepared);
+        scratch->prepared_slot = slot;
+      }
+      // Fused kernel: one query construction serves the pool matrix and
+      // the per-query truth scores.
+      model.ScoreBlock(scratch->anchors.data(), scratch->truths.data(), qb,
+                       block.relation, block.direction, scratch->prepared,
+                       scratch->scores.data(),
+                       scratch->truth_scores.data());
+      pool_sorted = scratch->prepared.sorted;
+    } else {
+      model.ScoreBatch(scratch->anchors.data(), qb, block.relation,
+                       block.direction, pool.data(), n,
+                       scratch->scores.data());
+      model.ScorePairs(scratch->anchors.data(), scratch->truths.data(), qb,
+                       1, block.relation, block.direction,
+                       scratch->truth_scores.data());
+      pool_sorted = std::is_sorted(pool.begin(), pool.end());
+    }
+    scored += static_cast<int64_t>(qb) * (n + 1);
+    for (size_t q = 0; q < qb; ++q) {
+      const int32_t i = (*block.triple_idx)[block.begin + q];
+      const Triple& triple = triples[i];
+      const std::vector<int32_t>* answers =
+          filter.AnswersFor(triple, block.direction);
+      KGEVAL_CHECK(answers != nullptr);
+      const double rank = FilteredRank(
+          pool.data(), scratch->scores.data() + q * n, n,
+          scratch->truths[q], scratch->truth_scores[q], *answers,
+          options.tie, pool_sorted);
+      ranks[static_cast<size_t>(i) * 2 + (tail_dir ? 0 : 1)] = rank;
+    }
+  }
+  return scored;
+}
 
 SampledEvalResult EvaluateSampled(const KgeModel& model,
                                   const Dataset& dataset,
@@ -31,6 +128,7 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
     num_triples = std::min(num_triples, options.max_triples);
   }
   const int32_t num_r = dataset.num_relations();
+  ValidateQueriedPools(triples, num_triples, num_r, candidates);
 
   SampledEvalResult result;
   result.sample_seconds = candidates.sample_seconds;
@@ -43,75 +141,25 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
   const std::vector<std::vector<int32_t>> by_relation =
       GroupByRelation(triples, num_triples, num_r);
   const std::vector<SlotBlock> blocks =
-      BuildSlotBlocks(by_relation, kQueryBlock);
-
-  // Largest pool across slots: the per-thread score buffer is sized once to
-  // qb_max x n_max instead of being resized inside the block loop.
-  size_t max_pool = 1;
-  for (const std::vector<int32_t>& pool : candidates.pools) {
-    max_pool = std::max(max_pool, pool.size());
-  }
+      BuildSlotBlocks(by_relation, kSampledQueryBlock);
+  // Parallelism is over slot-aligned chunks, not raw block ranges: a chunk
+  // boundary inside a slot would make both sides prepare the slot's pool.
+  const std::vector<std::pair<size_t, size_t>> chunks =
+      PartitionAtSlotBoundaries(blocks, num_r,
+                                GlobalThreadPool()->num_threads() * 4);
 
   ParallelFor(
-      0, blocks.size(),
-      [&](size_t block_lo, size_t block_hi) {
-        std::vector<int32_t> anchors(kQueryBlock), truths(kQueryBlock);
-        std::vector<float> scores(kQueryBlock * max_pool),
-            truth_scores(kQueryBlock);
-        // Slot blocks arrive slot-major, so a slot's blocks are contiguous:
-        // prepare its pool once at the first block (gather stays hot in
-        // cache for the scoring call right after) and reuse the prepared
-        // tile — including its allocation and precomputed sortedness — for
-        // every following block of the same slot.
-        CandidateBlock prepared;
-        int32_t prepared_slot = -1;
+      0, chunks.size(),
+      [&](size_t chunk_lo, size_t chunk_hi) {
+        // Chunks are contiguous, so one scratch serves the whole range and
+        // a slot spanning adjacent chunks is still prepared only once.
+        SlotBlockScratch scratch;
         int64_t local_scored = 0;
-        for (size_t b = block_lo; b < block_hi; ++b) {
-          const SlotBlock& block = blocks[b];
-          const bool tail_dir = block.direction == QueryDirection::kTail;
-          const int32_t slot =
-              tail_dir ? block.relation + num_r : block.relation;
-          const std::vector<int32_t>& pool = candidates.pools[slot];
-          const size_t n = pool.size();
-          const size_t qb = block.end - block.begin;
-          for (size_t q = 0; q < qb; ++q) {
-            const Triple& triple = triples[(*block.triple_idx)[block.begin + q]];
-            anchors[q] = tail_dir ? triple.head : triple.tail;
-            truths[q] = tail_dir ? triple.tail : triple.head;
-          }
-          bool pool_sorted = false;
-          if (options.prepared_pools) {
-            if (slot != prepared_slot) {
-              model.PrepareCandidates(pool.data(), n, &prepared);
-              prepared_slot = slot;
-            }
-            // Fused kernel: one query construction serves the pool matrix
-            // and the per-query truth scores.
-            model.ScoreBlock(anchors.data(), truths.data(), qb,
-                             block.relation, block.direction, prepared,
-                             scores.data(), truth_scores.data());
-            pool_sorted = prepared.sorted;
-          } else {
-            model.ScoreBatch(anchors.data(), qb, block.relation,
-                             block.direction, pool.data(), n, scores.data());
-            model.ScorePairs(anchors.data(), truths.data(), qb, 1,
-                             block.relation, block.direction,
-                             truth_scores.data());
-            pool_sorted = std::is_sorted(pool.begin(), pool.end());
-          }
-          local_scored += static_cast<int64_t>(qb) * (n + 1);
-          for (size_t q = 0; q < qb; ++q) {
-            const int32_t i = (*block.triple_idx)[block.begin + q];
-            const Triple& triple = triples[i];
-            const std::vector<int32_t>* answers =
-                filter.AnswersFor(triple, block.direction);
-            KGEVAL_CHECK(answers != nullptr);
-            const double rank = FilteredRank(
-                pool.data(), scores.data() + q * n, n, truths[q],
-                truth_scores[q], *answers, options.tie, pool_sorted);
-            result.ranks[static_cast<size_t>(i) * 2 + (tail_dir ? 0 : 1)] =
-                rank;
-          }
+        for (size_t c = chunk_lo; c < chunk_hi; ++c) {
+          local_scored += ScoreSlotBlocks(
+              model, triples, filter, candidates, num_r, blocks,
+              chunks[c].first, chunks[c].second, options, &scratch,
+              result.ranks.data());
         }
         scored.fetch_add(local_scored, std::memory_order_relaxed);
       },
@@ -119,6 +167,7 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
 
   result.scored_candidates = scored.load();
   result.metrics = RankingMetrics::FromRanks(result.ranks);
+  FillCi(options.ci_confidence, &result);
   result.eval_seconds = timer.Seconds();
   return result;
 }
@@ -135,6 +184,7 @@ SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
     num_triples = std::min(num_triples, options.max_triples);
   }
   const int32_t num_r = dataset.num_relations();
+  ValidateQueriedPools(triples, num_triples, num_r, candidates);
 
   SampledEvalResult result;
   result.sample_seconds = candidates.sample_seconds;
@@ -178,6 +228,7 @@ SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
 
   result.scored_candidates = scored.load();
   result.metrics = RankingMetrics::FromRanks(result.ranks);
+  FillCi(options.ci_confidence, &result);
   result.eval_seconds = timer.Seconds();
   return result;
 }

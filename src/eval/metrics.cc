@@ -1,5 +1,6 @@
 #include "eval/metrics.h"
 
+#include "stats/confidence.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -73,6 +74,118 @@ RankingMetrics RankingMetrics::FromRanks(const std::vector<double>& ranks) {
   m.hits10 /= n;
   m.mean_rank /= n;
   return m;
+}
+
+double RankingCi::Get(MetricKind kind) const {
+  switch (kind) {
+    case MetricKind::kMrr:
+      return mrr;
+    case MetricKind::kHits1:
+      return hits1;
+    case MetricKind::kHits3:
+      return hits3;
+    case MetricKind::kHits10:
+      return hits10;
+  }
+  return 0.0;
+}
+
+std::string RankingCi::ToString() const {
+  return StrFormat(
+      "+/- MRR=%.4f Hits@1=%.4f Hits@3=%.4f Hits@10=%.4f MR=%.1f "
+      "(z=%.2f, n=%lld)",
+      mrr, hits1, hits3, hits10, mean_rank, z,
+      static_cast<long long>(num_queries));
+}
+
+namespace {
+
+/// Maps a metric to its Welford-state index inside RankingAccumulator.
+int StatIndex(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kMrr:
+      return 0;
+    case MetricKind::kHits1:
+      return 1;
+    case MetricKind::kHits3:
+      return 2;
+    case MetricKind::kHits10:
+      return 3;
+  }
+  return 0;
+}
+
+constexpr int kMeanRankStat = 4;
+
+}  // namespace
+
+void RankingAccumulator::Add(double rank) {
+  KGEVAL_DCHECK(rank >= 1.0);
+  const double x[kNumStats] = {1.0 / rank, rank <= 1.0 ? 1.0 : 0.0,
+                               rank <= 3.0 ? 1.0 : 0.0,
+                               rank <= 10.0 ? 1.0 : 0.0, rank};
+  ++n_;
+  for (int s = 0; s < kNumStats; ++s) {
+    const double delta = x[s] - mean_[s];
+    mean_[s] += delta / static_cast<double>(n_);
+    m2_[s] += delta * (x[s] - mean_[s]);
+  }
+}
+
+void RankingAccumulator::Merge(const RankingAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  for (int s = 0; s < kNumStats; ++s) {
+    const double delta = other.mean_[s] - mean_[s];
+    mean_[s] += delta * nb / (na + nb);
+    m2_[s] += other.m2_[s] + delta * delta * na * nb / (na + nb);
+  }
+  n_ += other.n_;
+}
+
+RankingMetrics RankingAccumulator::Metrics() const {
+  RankingMetrics m;
+  m.num_queries = n_;
+  if (n_ == 0) return m;
+  m.mrr = mean_[0];
+  m.hits1 = mean_[1];
+  m.hits3 = mean_[2];
+  m.hits10 = mean_[3];
+  m.mean_rank = mean_[kMeanRankStat];
+  return m;
+}
+
+double RankingAccumulator::Mean(MetricKind kind) const {
+  return n_ == 0 ? 0.0 : mean_[StatIndex(kind)];
+}
+
+double RankingAccumulator::SampleVariance(MetricKind kind) const {
+  if (n_ < 2) return 0.0;
+  return m2_[StatIndex(kind)] / static_cast<double>(n_ - 1);
+}
+
+double RankingAccumulator::CiHalfWidth(MetricKind kind, double z) const {
+  return NormalCiHalfWidth(SampleVariance(kind), n_, z);
+}
+
+RankingCi RankingAccumulator::Ci(double z) const {
+  RankingCi ci;
+  ci.z = z;
+  ci.num_queries = n_;
+  if (n_ < 2) return ci;
+  ci.mrr = CiHalfWidth(MetricKind::kMrr, z);
+  ci.hits1 = CiHalfWidth(MetricKind::kHits1, z);
+  ci.hits3 = CiHalfWidth(MetricKind::kHits3, z);
+  ci.hits10 = CiHalfWidth(MetricKind::kHits10, z);
+  ci.mean_rank =
+      NormalCiHalfWidth(m2_[kMeanRankStat] / static_cast<double>(n_ - 1), n_,
+                        z);
+  return ci;
 }
 
 }  // namespace kgeval

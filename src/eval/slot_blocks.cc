@@ -1,6 +1,7 @@
 #include "eval/slot_blocks.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace kgeval {
 
@@ -30,6 +31,66 @@ std::vector<SlotBlock> BuildSlotBlocks(
     }
   }
   return blocks;
+}
+
+int32_t SlotOf(const SlotBlock& block, int32_t num_relations) {
+  return block.direction == QueryDirection::kTail
+             ? block.relation + num_relations
+             : block.relation;
+}
+
+std::vector<int32_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng) {
+  std::vector<int32_t> order(static_cast<size_t>(num_triples) * 2);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  return order;
+}
+
+std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
+    const std::vector<SlotBlock>& blocks, int32_t num_relations,
+    size_t max_chunks) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (blocks.empty()) return chunks;
+  max_chunks = std::max<size_t>(1, max_chunks);
+  const size_t target = (blocks.size() + max_chunks - 1) / max_chunks;
+  // When one slot's run is cut for load balance, every piece re-prepares
+  // the slot's pool, so pieces keep at least this many blocks — without
+  // the floor, small datasets on many-core machines (target of one block)
+  // would degenerate back to prepare-per-block.
+  constexpr size_t kMinSplitBlocks = 4;
+  const size_t piece = std::max(target, kMinSplitBlocks);
+  size_t chunk_begin = 0;
+  size_t run_begin = 0;  // First block of the current slot run.
+  int32_t run_slot = SlotOf(blocks[0], num_relations);
+  for (size_t b = 1; b <= blocks.size(); ++b) {
+    const bool slot_edge =
+        b == blocks.size() || SlotOf(blocks[b], num_relations) != run_slot;
+    if (!slot_edge) continue;
+    // The run [run_begin, b) just ended. Oversized runs are cut into
+    // piece-sized chunks of their own (still single-slot chunks); normal
+    // runs extend the current chunk, which is cut at this slot edge once
+    // it reaches the target.
+    if (b - run_begin >= 2 * piece) {
+      if (run_begin > chunk_begin) {
+        chunks.emplace_back(chunk_begin, run_begin);
+      }
+      for (size_t lo = run_begin; lo < b; lo += piece) {
+        chunks.emplace_back(lo, std::min(b, lo + piece));
+      }
+      chunk_begin = b;
+    } else if (b - chunk_begin >= target) {
+      chunks.emplace_back(chunk_begin, b);
+      chunk_begin = b;
+    }
+    if (b < blocks.size()) {
+      run_begin = b;
+      run_slot = SlotOf(blocks[b], num_relations);
+    }
+  }
+  if (chunk_begin < blocks.size()) {
+    chunks.emplace_back(chunk_begin, blocks.size());
+  }
+  return chunks;
 }
 
 }  // namespace kgeval

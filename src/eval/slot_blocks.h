@@ -2,9 +2,11 @@
 #define KGEVAL_EVAL_SLOT_BLOCKS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/triple.h"
+#include "util/rng.h"
 
 namespace kgeval {
 
@@ -29,6 +31,34 @@ std::vector<std::vector<int32_t>> GroupByRelation(
 /// `by_relation`, which must outlive them.
 std::vector<SlotBlock> BuildSlotBlocks(
     const std::vector<std::vector<int32_t>>& by_relation, size_t query_block);
+
+/// The (relation, direction) slot index of a block — the SampledCandidates
+/// pool index: tail queries rank the range slot (relation + num_relations),
+/// head queries the domain slot (relation).
+int32_t SlotOf(const SlotBlock& block, int32_t num_relations);
+
+/// A uniformly shuffled order over all 2 * num_triples query ids of a
+/// split, where query id = 2 * triple_index + (0 for the tail query, 1 for
+/// the head query) — the same packing as the evaluators' rank vectors.
+/// Any prefix of the order is a simple random sample (without replacement)
+/// of the split's query set, which is what makes the adaptive evaluator's
+/// running mean an unbiased estimate with an honest iid confidence
+/// interval. Deterministic given `rng`. Shuffling *queries* rather than
+/// slot blocks matters: block-granular rounds are cluster samples of
+/// same-relation queries whose ranks correlate, which biases small rounds
+/// and collapses the effective sample size behind the CI.
+std::vector<int32_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng);
+
+/// Partitions [0, blocks.size()) into at most ~`max_chunks` contiguous
+/// [begin, end) ranges whose boundaries coincide with slot boundaries, so a
+/// slot's blocks land in one chunk and its candidate pool is prepared once
+/// per chunk instead of once per arbitrary ParallelFor split. A slot run
+/// much longer than the target chunk size is split anyway (keeping load
+/// balance; each piece still prepares only its own slot's pool once).
+/// `blocks` must be slot-contiguous, as BuildSlotBlocks emits them.
+std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
+    const std::vector<SlotBlock>& blocks, int32_t num_relations,
+    size_t max_chunks);
 
 }  // namespace kgeval
 

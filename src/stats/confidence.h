@@ -1,0 +1,30 @@
+#ifndef KGEVAL_STATS_CONFIDENCE_H_
+#define KGEVAL_STATS_CONFIDENCE_H_
+
+#include <cstdint>
+
+namespace kgeval {
+
+/// Quantile function (inverse CDF) of the standard normal distribution.
+/// Acklam's rational approximation, |relative error| < 1.15e-9 — more than
+/// enough for confidence bounds. `p` must be in (0, 1).
+double NormalQuantile(double p);
+
+/// Two-sided z-value for a confidence level, e.g. 0.95 -> 1.95996.
+double TwoSidedZ(double confidence);
+
+/// Half-width of the normal-approximation confidence interval of a mean
+/// estimated from `n` observations with sample variance `variance`:
+/// z * sqrt(variance / n). Returns 0 for n < 2 (no variance estimate yet).
+double NormalCiHalfWidth(double variance, int64_t n, double z);
+
+/// Finite-population correction sqrt((N - n) / (N - 1)) for a mean estimated
+/// from `n` draws *without replacement* out of a population of `N`: the
+/// sampled-evaluation setting, where the population is the split's full
+/// query set. Shrinks to 0 as n -> N (the sample mean becomes exact).
+/// Returns 1 when N <= 1; the result is clamped to [0, 1].
+double FinitePopulationCorrection(int64_t n, int64_t N);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_STATS_CONFIDENCE_H_

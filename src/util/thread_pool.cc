@@ -3,6 +3,14 @@
 #include <algorithm>
 
 namespace kgeval {
+namespace {
+
+/// Set for the lifetime of every pool worker thread; lets ParallelFor
+/// detect re-entrant calls (a worker waiting on chunks it submitted to its
+/// own pool would deadlock once all workers are inside such a wait).
+thread_local bool tls_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -38,6 +46,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -64,10 +73,19 @@ ThreadPool* GlobalThreadPool() {
   return pool;
 }
 
+bool InThreadPoolWorker() { return tls_pool_worker; }
+
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk) {
   if (begin >= end) return;
+  if (InThreadPoolWorker()) {
+    // Re-entrant call from a pool worker: run inline. Submitting and
+    // waiting here would block a worker on tasks that only the (possibly
+    // fully occupied) workers themselves could drain.
+    fn(begin, end);
+    return;
+  }
   ThreadPool* pool = GlobalThreadPool();
   const size_t n = end - begin;
   const size_t max_chunks = pool->num_threads() * 4;

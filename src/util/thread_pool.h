@@ -47,9 +47,17 @@ class ThreadPool {
 /// static-destruction order is a non-issue).
 ThreadPool* GlobalThreadPool();
 
+/// True iff the calling thread is a ThreadPool worker (any pool's). Used by
+/// ParallelFor to run nested calls inline instead of deadlocking.
+bool InThreadPoolWorker();
+
 /// Splits [begin, end) into contiguous chunks and runs
 /// `fn(chunk_begin, chunk_end)` on the global pool. Blocks until done.
-/// Runs inline when the range is small or the pool has one thread.
+/// Runs inline when the range is small, the pool has one thread, or the
+/// caller is itself a pool worker: a worker that submitted chunks and then
+/// blocked on them would occupy one of the only threads able to drain its
+/// own queue, so nested/re-entrant calls would deadlock once every worker
+/// is inside such a wait.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk = 256);

@@ -261,6 +261,69 @@ TEST(ParallelForTest, ChunksRespectMinChunkAndPartitionRange) {
   }
 }
 
+TEST(ParallelForTest, NestedCallsRunInlineInsteadOfDeadlocking) {
+  // Regression: a ParallelFor issued from inside a pool worker used to
+  // submit chunks to the pool and block on them — with every worker
+  // occupied by outer chunks, nobody could drain the inner tasks and the
+  // call deadlocked. Nested calls must now run inline on the worker.
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inline_calls{0};
+  ParallelFor(
+      0, 64,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const std::thread::id outer_thread = std::this_thread::get_id();
+          ParallelFor(
+              0, 100,
+              [&](size_t inner_lo, size_t inner_hi) {
+                inner_total.fetch_add(static_cast<int>(inner_hi - inner_lo));
+                if (std::this_thread::get_id() == outer_thread) {
+                  inline_calls.fetch_add(1);
+                }
+              },
+              /*min_chunk=*/1);
+        }
+      },
+      /*min_chunk=*/1);
+  EXPECT_EQ(inner_total.load(), 64 * 100);
+  // Inner calls that landed on a pool worker must have stayed there (on a
+  // single-thread pool everything already ran inline on this thread).
+  if (GlobalThreadPool()->num_threads() > 1) {
+    EXPECT_GT(inline_calls.load(), 0);
+  }
+}
+
+TEST(ParallelForTest, CallFromSubmittedTaskRunsInline) {
+  // Same hazard via raw Submit: a task on the global pool calling
+  // ParallelFor must not wait on the pool it is running on.
+  ThreadPool* pool = GlobalThreadPool();
+  std::atomic<int> total{0};
+  for (int t = 0; t < 64; ++t) {
+    pool->Submit([&total] {
+      ParallelFor(
+          0, 50,
+          [&total](size_t lo, size_t hi) {
+            total.fetch_add(static_cast<int>(hi - lo));
+          },
+          /*min_chunk=*/1);
+    });
+  }
+  pool->Wait();
+  EXPECT_EQ(total.load(), 64 * 50);
+}
+
+TEST(ThreadPoolTest, InThreadPoolWorkerFlag) {
+  EXPECT_FALSE(InThreadPoolWorker());
+  ThreadPool pool(2);
+  std::atomic<int> in_worker{0};
+  pool.Submit([&in_worker] {
+    if (InThreadPoolWorker()) in_worker.fetch_add(1);
+  });
+  pool.Wait();
+  EXPECT_EQ(in_worker.load(), 1);
+  EXPECT_FALSE(InThreadPoolWorker());
+}
+
 TEST(ParallelForTest, ConcurrentCallsDoNotInterfere) {
   // Two threads issue independent ParallelFor calls against the shared
   // global pool; each must wait only for its own chunks.
