@@ -1,11 +1,13 @@
 // Adaptive (confidence-bounded) sampled evaluation against the full sampled
-// pass: both score the *same* candidate pools, so the adaptive pass's only
-// job is to stop early once its confidence half-width on MRR reaches the
-// target — the paper's Figure 3a/3b observation ("the estimate stabilizes
-// long before every test query is scored") made operational. Reports, per
-// sampling strategy: candidates scored, wall time, the MRR estimates, the
-// final interval, and whether the full-pass MRR landed inside it. --json
-// writes BENCH_adaptive.json with the same numbers.
+// pass: both run inside one EvalSession, so they score the *same* pinned
+// candidate pools and the adaptive pass's only job is to stop early once
+// its confidence half-width on MRR reaches the target — the paper's
+// Figure 3a/3b observation ("the estimate stabilizes long before every test
+// query is scored") made operational. Reports, per sampling strategy:
+// candidates scored, wall time, the MRR estimates, the final interval, and
+// whether the full-pass MRR landed inside it. --json writes
+// BENCH_adaptive.json with the same numbers plus the worker-thread count
+// and the pool mode, so artifacts from different CI runners are comparable.
 
 #include <cmath>
 #include <cstdio>
@@ -13,10 +15,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "core/adaptive_evaluator.h"
-#include "core/framework.h"
+#include "core/eval_session.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -24,6 +26,11 @@ namespace {
 struct AdaptiveRow {
   std::string dataset;
   std::string sampling;
+  /// Worker-pool size and pool handling ("pinned": both engines scored one
+  /// session draw; "fresh" would mean per-engine redraws) — recorded so
+  /// BENCH_adaptive.json artifacts are comparable across CI runners.
+  int64_t threads = 0;
+  std::string pool_mode;
   double target_half_width = 0.0;
   int64_t full_candidates = 0;
   double full_s = 0.0;
@@ -63,6 +70,7 @@ void WriteJson(const std::vector<AdaptiveRow>& rows) {
     std::fprintf(
         f,
         "    {\"dataset\": \"%s\", \"sampling\": \"%s\", "
+        "\"threads\": %lld, \"pool_mode\": \"%s\", "
         "\"target_half_width\": %.6f, \"full_candidates\": %lld, "
         "\"full_wall_s\": %.6f, \"full_mrr\": %.6f, "
         "\"adaptive_candidates\": %lld, \"triples_scored\": %lld, "
@@ -71,6 +79,7 @@ void WriteJson(const std::vector<AdaptiveRow>& rows) {
         "\"ci_half_width\": %.6f, \"rounds\": %lld, \"converged\": %s, "
         "\"within_ci\": %s, \"deterministic\": %s}%s\n",
         JsonEscape(r.dataset).c_str(), JsonEscape(r.sampling).c_str(),
+        static_cast<long long>(r.threads), JsonEscape(r.pool_mode).c_str(),
         r.target_half_width, static_cast<long long>(r.full_candidates),
         r.full_s, r.full_mrr, static_cast<long long>(r.adaptive_candidates),
         static_cast<long long>(r.triples_scored),
@@ -122,37 +131,34 @@ int main(int argc, char** argv) {
     options.strategy = strategy;
     options.recommender = RecommenderType::kLwd;
     options.sample_fraction = 0.1;
-    auto framework =
-        EvaluationFramework::Build(&dataset, options).ValueOrDie();
-    // Both engines score the exact same pools: the adaptive estimate's gap
-    // to the full pass is pure early stopping, not pool-draw noise.
-    Rng rng(171);
-    const CandidateSets* sets =
-        strategy == SamplingStrategy::kRandom ? nullptr : &framework->sets();
-    const SampledCandidates pools = DrawCandidates(
-        strategy, sets, dataset.num_entities(), framework->SampleSize(),
-        NeededSlots(dataset, Split::kTest), 2 * dataset.num_relations(),
-        &rng);
+    // Both engines score the session's pinned pools: the adaptive
+    // estimate's gap to the full pass is pure early stopping, not
+    // pool-draw noise.
+    auto session =
+        EvalSession::Create(&dataset, &filter, options, Split::kTest)
+            .ValueOrDie();
 
     WallTimer full_timer;
-    const SampledEvalResult full =
-        EvaluateSampled(*model, dataset, filter, Split::kTest, pools);
+    const SampledEvalResult full = session->Estimate(*model);
     const double full_s = full_timer.Seconds();
 
     AdaptiveEvalOptions adaptive_options;
     adaptive_options.target_half_width = args.half_width;
     WallTimer adaptive_timer;
-    const AdaptiveEvalResult adaptive = EvaluateAdaptive(
-        *model, dataset, filter, Split::kTest, pools, adaptive_options);
+    const AdaptiveEvalResult adaptive =
+        session->EstimateAdaptive(*model, adaptive_options);
     const double adaptive_s = adaptive_timer.Seconds();
     // Fixed seed -> bit-identical rerun; a mismatch here means the
     // schedule or the accumulator picked up nondeterminism.
-    const AdaptiveEvalResult rerun = EvaluateAdaptive(
-        *model, dataset, filter, Split::kTest, pools, adaptive_options);
+    const AdaptiveEvalResult rerun =
+        session->EstimateAdaptive(*model, adaptive_options);
 
     AdaptiveRow row;
     row.dataset = preset;
     row.sampling = SamplingStrategyName(strategy);
+    row.threads =
+        static_cast<int64_t>(GlobalThreadPool()->num_threads());
+    row.pool_mode = "pinned";
     row.target_half_width = args.half_width;
     row.full_candidates = full.scored_candidates;
     row.full_s = full_s;
@@ -204,6 +210,9 @@ int main(int argc, char** argv) {
       "full pass and stops once the finite-population-corrected normal CI "
       "on MRR is tighter than the target; 'Scored' is its share of the "
       "full pass's candidate scores");
+  bench::PrintNote(StrFormat(
+      "both engines ran in one EvalSession per strategy (pinned pools) on "
+      "%zu worker threads", GlobalThreadPool()->num_threads()));
   if (args.json) WriteJson(rows);
   return 0;
 }

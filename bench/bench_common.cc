@@ -6,6 +6,7 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace kgeval {
 namespace bench {
@@ -30,13 +31,26 @@ BenchArgs ParseArgs(int argc, char** argv) {
         std::fprintf(stderr, "--half-width must be positive\n");
         std::exit(2);
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+      if (args.threads <= 0) {
+        std::fprintf(stderr, "--threads must be positive\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --paper-scale --fast "
-                   "--epochs=N --dataset=NAME --json --half-width=X)\n",
+                   "--epochs=N --dataset=NAME --json --half-width=X "
+                   "--threads=N)\n",
                    arg.c_str());
       std::exit(2);
     }
+  }
+  // ParseArgs runs first thing in every bench main(), before the lazy
+  // global pool exists, so the override is still applicable. Without the
+  // flag the pool falls back to KGEVAL_THREADS, then hardware_concurrency.
+  if (args.threads > 0) {
+    SetGlobalThreadPoolThreads(static_cast<size_t>(args.threads));
   }
   return args;
 }

@@ -21,6 +21,9 @@ namespace bench {
 ///                     readable results; only benches that support it)
 ///   --half-width=X    adaptive evaluation's target confidence half-width
 ///                     (benches with an adaptive mode; default 0.01)
+///   --threads=N       worker-pool size (default: KGEVAL_THREADS env var,
+///                     then hardware_concurrency) — makes bench numbers
+///                     comparable across machines and CI runners
 struct BenchArgs {
   bool paper_scale = false;
   bool fast = false;
@@ -28,8 +31,12 @@ struct BenchArgs {
   std::string only_dataset;
   bool json = false;
   double half_width = 0.01;
+  int32_t threads = 0;
 };
 
+/// Parses the shared flags. Applies --threads (or its KGEVAL_THREADS
+/// fallback) to the global worker pool immediately, so call this before any
+/// parallel work.
 BenchArgs ParseArgs(int argc, char** argv);
 
 /// Generates the named preset at the scale selected by `args`.

@@ -1,0 +1,152 @@
+// Concurrent multi-model evaluation through EvalSession::EstimateMany
+// against the same models estimated one at a time: both score the session's
+// pinned pools, so the concurrent pass must reproduce the sequential ranks
+// bit-for-bit while beating its wall time (each model's chunks interleave
+// on the shared workers instead of serializing behind a global barrier —
+// the multi-checkpoint monitoring / model-comparison workload the paper
+// motivates). Prints PARITY MISMATCH if any rank differs, which CI greps
+// for. --json writes BENCH_eval_session.json with the thread count and
+// pool mode so artifacts are comparable across runners.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/eval_session.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+struct SessionRow {
+  std::string dataset;
+  int64_t models = 0;
+  int64_t threads = 0;
+  std::string pool_mode;
+  double sequential_s = 0.0;
+  double concurrent_s = 0.0;
+  double speedup = 0.0;
+  bool parity = false;
+};
+
+void WriteJson(const SessionRow& r) {
+  const char* path = "BENCH_eval_session.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"eval_session\": {\"dataset\": \"%s\", \"models\": %lld, "
+      "\"threads\": %lld, \"pool_mode\": \"%s\", \"sequential_wall_s\": "
+      "%.6f, \"concurrent_wall_s\": %.6f, \"speedup\": %.4f, "
+      "\"rank_parity\": %s}\n}\n",
+      r.dataset.c_str(), static_cast<long long>(r.models),
+      static_cast<long long>(r.threads), r.pool_mode.c_str(), r.sequential_s,
+      r.concurrent_s, r.speedup, r.parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgeval;
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::string preset = args.fast ? "codex-s" : "codex-m";
+  if (!args.only_dataset.empty()) preset = args.only_dataset;
+  constexpr size_t kModels = 4;
+  const int reps = args.fast ? 2 : 3;
+
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const FilterIndex filter(dataset);
+
+  // Four independently seeded checkpoints of the same architecture — the
+  // "compare my candidate models on one benchmark" workload.
+  std::vector<std::unique_ptr<KgeModel>> owned;
+  std::vector<const KgeModel*> models;
+  for (size_t m = 0; m < kModels; ++m) {
+    bench::TrainSpec spec;
+    spec.epochs = args.epochs > 0 ? args.epochs : (args.fast ? 1 : 3);
+    spec.seed = 11 + 101 * m;
+    owned.push_back(bench::TrainModel(dataset, spec));
+    models.push_back(owned.back().get());
+  }
+
+  FrameworkOptions options;
+  options.strategy = SamplingStrategy::kProbabilistic;
+  options.recommender = RecommenderType::kLwd;
+  options.sample_fraction = 0.1;
+  auto session = EvalSession::Create(&dataset, &filter, options, Split::kTest)
+                     .ValueOrDie();
+
+  bench::PrintHeader(StrFormat(
+      "EvalSession: %zu models, sequential vs concurrent on pinned pools "
+      "(%s, %zu worker threads)",
+      kModels, preset.c_str(), GlobalThreadPool()->num_threads()));
+
+  // Burst-timed min-of-N on both schedules, warm-up pass first so neither
+  // side pays first-touch costs.
+  std::vector<SampledEvalResult> sequential(kModels);
+  std::vector<SampledEvalResult> concurrent;
+  double best_sequential = 0.0, best_concurrent = 0.0;
+  (void)session->EstimateMany(models);
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer seq_timer;
+    for (size_t m = 0; m < kModels; ++m) {
+      sequential[m] = session->Estimate(*models[m]);
+    }
+    const double seq_s = seq_timer.Seconds();
+    WallTimer conc_timer;
+    concurrent = session->EstimateMany(models);
+    const double conc_s = conc_timer.Seconds();
+    if (rep == 0 || seq_s < best_sequential) best_sequential = seq_s;
+    if (rep == 0 || conc_s < best_concurrent) best_concurrent = conc_s;
+  }
+
+  bool parity = true;
+  for (size_t m = 0; m < kModels; ++m) {
+    parity = parity && concurrent[m].ranks == sequential[m].ranks &&
+             concurrent[m].metrics.mrr == sequential[m].metrics.mrr &&
+             concurrent[m].scored_candidates == sequential[m].scored_candidates;
+  }
+
+  SessionRow row;
+  row.dataset = preset;
+  row.models = static_cast<int64_t>(kModels);
+  row.threads = static_cast<int64_t>(GlobalThreadPool()->num_threads());
+  row.pool_mode = "pinned";
+  row.sequential_s = best_sequential;
+  row.concurrent_s = best_concurrent;
+  row.speedup = best_concurrent > 0.0 ? best_sequential / best_concurrent : 0.0;
+  row.parity = parity;
+
+  TextTable table({"Schedule", "Wall (s)", "MRR (model 0..3)", "Ranks"});
+  const auto mrrs = [](const std::vector<SampledEvalResult>& results) {
+    std::string out;
+    for (size_t m = 0; m < results.size(); ++m) {
+      out += (m > 0 ? " " : "") + bench::F(results[m].metrics.mrr, 4);
+    }
+    return out;
+  };
+  table.AddRow({"sequential", bench::F(best_sequential, 3), mrrs(sequential),
+                "reference"});
+  table.AddRow({"concurrent", bench::F(best_concurrent, 3), mrrs(concurrent),
+                parity ? "bit-identical" : "PARITY MISMATCH"});
+  std::printf("%s", table.ToString().c_str());
+  bench::PrintNote(StrFormat(
+      "concurrent/sequential speedup %.2fx on %lld worker threads "
+      "(single-core machines run both schedules on one core, so the "
+      "speedup only shows with threads > 1); both schedules score the "
+      "session's pinned pool draw, so ranks must match bit-for-bit",
+      row.speedup, static_cast<long long>(row.threads)));
+  if (args.json) WriteJson(row);
+  return parity ? 0 : 1;
+}

@@ -1,12 +1,17 @@
 // Reproduces Figure 3c: the estimated validation MRR across training on
 // wikikg2 — the practical use case of the framework: monitoring a model
 // during training without paying for full evaluations.
+//
+// Each sampling strategy monitors through an EvalSession: its candidate
+// pools are drawn once and pinned, so (a) the per-epoch estimate pays no
+// sampling cost and (b) every epoch ranks against identical pools — the
+// curve's movement is training progress, not pool-draw noise.
 
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_common.h"
-#include "core/framework.h"
+#include "core/eval_session.h"
 #include "eval/full_evaluator.h"
 #include "models/trainer.h"
 #include "util/string_util.h"
@@ -23,8 +28,8 @@ int main(int argc, char** argv) {
   const Dataset& dataset = synth.dataset;
   const FilterIndex filter(dataset);
 
-  std::map<SamplingStrategy, std::unique_ptr<EvaluationFramework>>
-      frameworks;
+  std::map<SamplingStrategy, std::unique_ptr<EvalSession>> sessions;
+  double pinned_sample_seconds = 0.0;
   for (SamplingStrategy strategy :
        {SamplingStrategy::kRandom, SamplingStrategy::kStatic,
         SamplingStrategy::kProbabilistic}) {
@@ -33,8 +38,10 @@ int main(int argc, char** argv) {
     options.recommender = RecommenderType::kLwd;
     // ~ the paper's n_s = 200,000 on 2.5M entities (~8%).
     options.sample_fraction = 0.08;
-    frameworks[strategy] =
-        EvaluationFramework::Build(&dataset, options).ValueOrDie();
+    sessions[strategy] =
+        EvalSession::Create(&dataset, &filter, options, Split::kValid)
+            .ValueOrDie();
+    pinned_sample_seconds += sessions[strategy]->pools().sample_seconds;
   }
 
   ModelOptions model_options;
@@ -62,20 +69,15 @@ int main(int argc, char** argv) {
                                 full_options)
                 .metrics.mrr;
         const double prob =
-            frameworks[SamplingStrategy::kProbabilistic]
-                ->Estimate(m, filter, Split::kValid,
-                           full_options.max_triples)
+            sessions[SamplingStrategy::kProbabilistic]
+                ->Estimate(m, full_options.max_triples)
                 .metrics.mrr;
-        const double random =
-            frameworks[SamplingStrategy::kRandom]
-                ->Estimate(m, filter, Split::kValid,
-                           full_options.max_triples)
-                .metrics.mrr;
-        const double station =
-            frameworks[SamplingStrategy::kStatic]
-                ->Estimate(m, filter, Split::kValid,
-                           full_options.max_triples)
-                .metrics.mrr;
+        const double random = sessions[SamplingStrategy::kRandom]
+                                  ->Estimate(m, full_options.max_triples)
+                                  .metrics.mrr;
+        const double station = sessions[SamplingStrategy::kStatic]
+                                   ->Estimate(m, full_options.max_triples)
+                                   .metrics.mrr;
         table.AddRow({FormatWithCommas(static_cast<long long>(epoch + 1) *
                                        dataset.train().size()),
                       bench::F(prob, 4), bench::F(random, 4),
@@ -87,5 +89,12 @@ int main(int argc, char** argv) {
       "paper shape: the Probabilistic curve coincides with the true MRR "
       "across training; Random tracks the trend but at a large upward "
       "offset — fine for early stopping, useless as an absolute number");
+  bench::PrintNote(StrFormat(
+      "pinned pools: the 3 sessions drew their 2|R| pools once (%.3fs "
+      "total), amortized to %.4fs per epoch over %d epochs — a per-epoch "
+      "redraw would pay the full %.3fs every epoch and decorrelate "
+      "consecutive points",
+      pinned_sample_seconds, pinned_sample_seconds / epochs, epochs,
+      pinned_sample_seconds));
   return 0;
 }

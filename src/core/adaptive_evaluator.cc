@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 
+#include "sched/task_group.h"
 #include "stats/confidence.h"
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace kgeval {
@@ -91,24 +91,22 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
         }
       }
     }
-    const std::vector<std::pair<size_t, size_t>> chunks =
-        PartitionAtSlotBoundaries(round_blocks, num_r,
-                                  GlobalThreadPool()->num_threads() * 4);
     std::atomic<int64_t> scored{0};
-    ParallelFor(
-        0, chunks.size(),
-        [&](size_t chunk_lo, size_t chunk_hi) {
-          SlotBlockScratch scratch;
-          int64_t local_scored = 0;
-          for (size_t c = chunk_lo; c < chunk_hi; ++c) {
-            local_scored += ScoreSlotBlocks(
-                model, triples, filter, candidates, num_r, round_blocks,
-                chunks[c].first, chunks[c].second, eval_options, &scratch,
-                result.ranks.data());
-          }
-          scored.fetch_add(local_scored, std::memory_order_relaxed);
-        },
-        /*min_chunk=*/1);
+    // Each round is its own TaskGroup: the wait at the end of the round is
+    // per-pass, so concurrent adaptive passes (EstimateAdaptiveMany) stay
+    // independent down to the round granularity.
+    TaskGroup round_group;
+    SubmitSlotChunks(&round_group, round_blocks, num_r,
+                     [&](size_t lo, size_t hi) {
+                       SlotBlockScratch scratch;
+                       const int64_t local_scored = ScoreSlotBlocks(
+                           model, triples, filter, candidates, num_r,
+                           round_blocks, lo, hi, eval_options, &scratch,
+                           result.ranks.data());
+                       scored.fetch_add(local_scored,
+                                        std::memory_order_relaxed);
+                     });
+    round_group.Wait();
     result.scored_candidates += scored.load();
 
     // Fold the round's ranks in schedule order: the scored ranks are

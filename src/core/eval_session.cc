@@ -1,0 +1,111 @@
+#include "core/eval_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace kgeval {
+namespace {
+
+/// Runs job(i) for every i in [0, n) concurrently on caller-side *job*
+/// threads (one per in-flight evaluation request), not workers — each job
+/// fans its chunks out to the shared worker pool through its own
+/// TaskGroups and helps drain them while it waits, so in-flight jobs
+/// interleave on the workers instead of serializing behind each other.
+/// In-flight jobs are capped at the worker count: job threads compute
+/// (help-first waits), so a 100-checkpoint sweep on 8 workers runs 8 jobs
+/// at a time instead of oversubscribing the machine with 100 compute
+/// threads (and 100 jobs' scratch alive at once). Jobs are claimed from a
+/// shared counter, so the cap changes scheduling only — never results.
+void RunJobsConcurrently(size_t n, const std::function<void(size_t)>& job) {
+  if (n == 0) return;
+  const size_t width = std::min(
+      n, std::max<size_t>(1, GlobalThreadPool()->num_threads()));
+  std::atomic<size_t> next{0};
+  const auto run_jobs = [&next, n, &job] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      job(i);
+    }
+  };
+  if (width == 1) {
+    run_jobs();
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(width - 1);
+  for (size_t t = 1; t < width; ++t) {
+    threads.emplace_back(run_jobs);
+  }
+  run_jobs();
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace
+
+EvalSession::EvalSession(std::unique_ptr<EvaluationFramework> framework,
+                         const FilterIndex* filter, Split split)
+    : framework_(std::move(framework)), filter_(filter), split_(split) {
+  KGEVAL_CHECK(framework_ != nullptr);
+  KGEVAL_CHECK(filter_ != nullptr);
+  pools_ = framework_->DrawPools(split_);
+}
+
+Result<std::unique_ptr<EvalSession>> EvalSession::Create(
+    const Dataset* dataset, const FilterIndex* filter,
+    const FrameworkOptions& options, Split split) {
+  if (filter == nullptr) {
+    return Status::InvalidArgument("filter is null");
+  }
+  auto framework = EvaluationFramework::Build(dataset, options);
+  if (!framework.ok()) return framework.status();
+  return {std::unique_ptr<EvalSession>(new EvalSession(
+      std::move(framework).ValueOrDie(), filter, split))};
+}
+
+std::unique_ptr<EvalSession> EvalSession::Adopt(
+    std::unique_ptr<EvaluationFramework> framework, const FilterIndex* filter,
+    Split split) {
+  return std::unique_ptr<EvalSession>(
+      new EvalSession(std::move(framework), filter, split));
+}
+
+SampledEvalResult EvalSession::Estimate(const KgeModel& model,
+                                        int64_t max_triples) const {
+  return framework_->EstimateOnPools(model, *filter_, split_, pools_,
+                                     max_triples);
+}
+
+std::vector<SampledEvalResult> EvalSession::EstimateMany(
+    const std::vector<const KgeModel*>& models, int64_t max_triples) const {
+  std::vector<SampledEvalResult> results(models.size());
+  RunJobsConcurrently(models.size(), [&](size_t i) {
+    KGEVAL_CHECK(models[i] != nullptr);
+    results[i] = Estimate(*models[i], max_triples);
+  });
+  return results;
+}
+
+AdaptiveEvalResult EvalSession::EstimateAdaptive(
+    const KgeModel& model, const AdaptiveEvalOptions& adaptive) const {
+  return framework_->EstimateAdaptiveOnPools(model, *filter_, split_, pools_,
+                                             adaptive);
+}
+
+std::vector<AdaptiveEvalResult> EvalSession::EstimateAdaptiveMany(
+    const std::vector<const KgeModel*>& models,
+    const AdaptiveEvalOptions& adaptive) const {
+  std::vector<AdaptiveEvalResult> results(models.size());
+  RunJobsConcurrently(models.size(), [&](size_t i) {
+    KGEVAL_CHECK(models[i] != nullptr);
+    results[i] = EstimateAdaptive(*models[i], adaptive);
+  });
+  return results;
+}
+
+void EvalSession::RedrawPools() { pools_ = framework_->DrawPools(split_); }
+
+}  // namespace kgeval

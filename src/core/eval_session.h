@@ -1,0 +1,100 @@
+#ifndef KGEVAL_CORE_EVAL_SESSION_H_
+#define KGEVAL_CORE_EVAL_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace kgeval {
+
+/// A multi-model evaluation session: one EvaluationFramework plus one
+/// *pinned* pool draw for one split. Every Estimate*/EstimateMany* call
+/// scores against the same pinned pools, which buys two things the
+/// one-shot EvaluationFramework::Estimate cannot give:
+///
+///  - Comparability. All models/checkpoints rank against identical
+///    candidate pools, so metric differences are model differences — the
+///    pool-draw noise that separates two Estimate() calls is gone. This is
+///    the paper's monitoring use case (Fig. 3c): per-epoch estimates on a
+///    pinned draw form a curve whose movement is training progress.
+///  - Amortization. The 2|R| pool samplings are paid once per session (or
+///    per RedrawPools()), not once per checkpoint.
+///
+/// EstimateMany/EstimateAdaptiveMany evaluate N models *concurrently*: each
+/// model's pass runs as its own job on the shared worker pool (its own
+/// TaskGroups, waiting only on its own chunks — no global barrier), so the
+/// session behaves like a small evaluation service absorbing N requests at
+/// once. Per-model results are bit-identical to a sequential Estimate()
+/// call on the same pinned pools, whatever the interleaving: ranks land in
+/// disjoint per-model vectors and are reduced in deterministic index order.
+///
+/// The session pins pools, not models: models arrive per call and are only
+/// read, so one session can outlive any number of checkpoints. Pinning
+/// trades the across-draw variance estimate for comparability — metrics
+/// still carry the query-sampling CI, but a fresh draw (RedrawPools) is the
+/// only way to see pool-draw noise.
+class EvalSession {
+ public:
+  /// Builds a framework for `dataset` and pins its first pool draw for
+  /// `split`. `dataset` and `filter` must outlive the session.
+  static Result<std::unique_ptr<EvalSession>> Create(
+      const Dataset* dataset, const FilterIndex* filter,
+      const FrameworkOptions& options, Split split = Split::kTest);
+
+  /// Wraps an already-built framework (taking ownership) and pins its next
+  /// pool draw. Lets callers reuse an expensive recommender fit across
+  /// sessions on different splits.
+  static std::unique_ptr<EvalSession> Adopt(
+      std::unique_ptr<EvaluationFramework> framework,
+      const FilterIndex* filter, Split split);
+
+  /// Estimates `model` on the pinned pools. Repeated calls score identical
+  /// pools; `max_triples` (0 = all) as in EvaluationFramework::Estimate.
+  SampledEvalResult Estimate(const KgeModel& model,
+                             int64_t max_triples = 0) const;
+
+  /// Estimates every model concurrently against the pinned pools; result i
+  /// is bit-identical (rank-for-rank) to Estimate(*models[i], max_triples).
+  std::vector<SampledEvalResult> EstimateMany(
+      const std::vector<const KgeModel*>& models,
+      int64_t max_triples = 0) const;
+
+  /// Confidence-bounded estimate on the pinned pools (deterministic given
+  /// `adaptive.shuffle_seed`; the framework's tie-break overrides
+  /// `adaptive.tie`).
+  AdaptiveEvalResult EstimateAdaptive(
+      const KgeModel& model, const AdaptiveEvalOptions& adaptive = {}) const;
+
+  /// Adaptive counterpart of EstimateMany: per-model results bit-identical
+  /// to sequential EstimateAdaptive calls with the same options.
+  std::vector<AdaptiveEvalResult> EstimateAdaptiveMany(
+      const std::vector<const KgeModel*>& models,
+      const AdaptiveEvalOptions& adaptive = {}) const;
+
+  /// Replaces the pinned pools with a fresh draw (advancing the framework's
+  /// RNG). Estimates before and after are *not* comparable draw-wise — call
+  /// between checkpoint sweeps, not inside one. Not thread-safe against
+  /// in-flight Estimate* calls.
+  void RedrawPools();
+
+  /// The pinned pools (sample_seconds is the one-time draw cost the
+  /// session amortizes across its estimates).
+  const SampledCandidates& pools() const { return pools_; }
+  Split split() const { return split_; }
+  EvaluationFramework& framework() { return *framework_; }
+  const EvaluationFramework& framework() const { return *framework_; }
+
+ private:
+  EvalSession(std::unique_ptr<EvaluationFramework> framework,
+              const FilterIndex* filter, Split split);
+
+  std::unique_ptr<EvaluationFramework> framework_;
+  const FilterIndex* filter_;
+  Split split_;
+  SampledCandidates pools_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_CORE_EVAL_SESSION_H_

@@ -48,16 +48,25 @@ int64_t EvaluationFramework::SampleSize() const {
       options_.sample_fraction * dataset_->num_entities()));
 }
 
+SampledCandidates EvaluationFramework::DrawPools(Split split) {
+  const std::vector<int32_t> slots = NeededSlots(*dataset_, split);
+  const CandidateSets* sets =
+      options_.strategy == SamplingStrategy::kRandom ? nullptr : &sets_;
+  return DrawCandidates(options_.strategy, sets, dataset_->num_entities(),
+                        SampleSize(), slots, 2 * dataset_->num_relations(),
+                        &rng_);
+}
+
 SampledEvalResult EvaluationFramework::Estimate(const KgeModel& model,
                                                 const FilterIndex& filter,
                                                 Split split,
                                                 int64_t max_triples) {
-  const std::vector<int32_t> slots = NeededSlots(*dataset_, split);
-  const CandidateSets* sets =
-      options_.strategy == SamplingStrategy::kRandom ? nullptr : &sets_;
-  SampledCandidates pools = DrawCandidates(
-      options_.strategy, sets, dataset_->num_entities(), SampleSize(), slots,
-      2 * dataset_->num_relations(), &rng_);
+  return EstimateOnPools(model, filter, split, DrawPools(split), max_triples);
+}
+
+SampledEvalResult EvaluationFramework::EstimateOnPools(
+    const KgeModel& model, const FilterIndex& filter, Split split,
+    const SampledCandidates& pools, int64_t max_triples) const {
   SampledEvalOptions eval_options;
   eval_options.tie = options_.tie;
   eval_options.max_triples = max_triples;
@@ -68,12 +77,14 @@ SampledEvalResult EvaluationFramework::Estimate(const KgeModel& model,
 AdaptiveEvalResult EvaluationFramework::EstimateAdaptive(
     const KgeModel& model, const FilterIndex& filter, Split split,
     const AdaptiveEvalOptions& adaptive) {
-  const std::vector<int32_t> slots = NeededSlots(*dataset_, split);
-  const CandidateSets* sets =
-      options_.strategy == SamplingStrategy::kRandom ? nullptr : &sets_;
-  SampledCandidates pools = DrawCandidates(
-      options_.strategy, sets, dataset_->num_entities(), SampleSize(), slots,
-      2 * dataset_->num_relations(), &rng_);
+  return EstimateAdaptiveOnPools(model, filter, split, DrawPools(split),
+                                 adaptive);
+}
+
+AdaptiveEvalResult EvaluationFramework::EstimateAdaptiveOnPools(
+    const KgeModel& model, const FilterIndex& filter, Split split,
+    const SampledCandidates& pools,
+    const AdaptiveEvalOptions& adaptive) const {
   AdaptiveEvalOptions eval_options = adaptive;
   eval_options.tie = options_.tie;
   return EvaluateAdaptive(model, *dataset_, filter, split, pools,

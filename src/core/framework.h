@@ -30,7 +30,10 @@ struct FrameworkOptions {
 /// The paper's contribution as a reusable object: fit a relation
 /// recommender once, derive candidate sets once, then estimate the filtered
 /// ranking metrics of *any* KGC model in a fraction of the full-ranking
-/// cost. Each Estimate() call redraws fresh pools (2|R| samplings).
+/// cost. Each Estimate() call redraws fresh pools (2|R| samplings); to pin
+/// one draw across many models/checkpoints, wrap the framework in an
+/// EvalSession (core/eval_session.h) or pair DrawPools() with the
+/// *OnPools() variants below.
 class EvaluationFramework {
  public:
   /// Fits the recommender on dataset.train() and prepares the candidate
@@ -38,11 +41,28 @@ class EvaluationFramework {
   static Result<std::unique_ptr<EvaluationFramework>> Build(
       const Dataset* dataset, const FrameworkOptions& options);
 
+  /// Draws one set of candidate pools for `split`, exactly the way
+  /// Estimate() does internally (2|R| samplings, advancing the framework's
+  /// RNG: consecutive draws differ, each is deterministic given the seed
+  /// and the draw count so far).
+  SampledCandidates DrawPools(Split split);
+
   /// Estimates the filtered metrics of `model` on `split`. `max_triples`
   /// (0 = all) evaluates only the split's deterministic prefix, matching
   /// FullEvalOptions::max_triples for apples-to-apples comparisons.
+  /// Equivalent to EstimateOnPools(model, filter, split, DrawPools(split)).
   SampledEvalResult Estimate(const KgeModel& model, const FilterIndex& filter,
                              Split split, int64_t max_triples = 0);
+
+  /// Estimate() on caller-provided pools (a pinned DrawPools() result):
+  /// scores `model` against `pools` without drawing anything, so repeated
+  /// calls are comparable — rank differences between models are model
+  /// differences, not pool-draw noise. Const and thread-safe: concurrent
+  /// calls with different models are how EvalSession::EstimateMany runs.
+  SampledEvalResult EstimateOnPools(const KgeModel& model,
+                                    const FilterIndex& filter, Split split,
+                                    const SampledCandidates& pools,
+                                    int64_t max_triples = 0) const;
 
   /// Confidence-bounded variant of Estimate: draws fresh pools the same way
   /// and runs EvaluateAdaptive over them, stopping as soon as the target
@@ -53,9 +73,17 @@ class EvaluationFramework {
                                       const FilterIndex& filter, Split split,
                                       const AdaptiveEvalOptions& adaptive = {});
 
+  /// EstimateAdaptive() on caller-provided pools; same pinning semantics
+  /// and thread-safety as EstimateOnPools.
+  AdaptiveEvalResult EstimateAdaptiveOnPools(
+      const KgeModel& model, const FilterIndex& filter, Split split,
+      const SampledCandidates& pools,
+      const AdaptiveEvalOptions& adaptive = {}) const;
+
   /// Resolved per-slot sample count n_s.
   int64_t SampleSize() const;
 
+  const Dataset* dataset() const { return dataset_; }
   const FrameworkOptions& options() const { return options_; }
   const RecommenderScores& scores() const { return scores_; }
   const CandidateSets& sets() const { return sets_; }

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "sched/task_group.h"
 #include "stats/confidence.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace kgeval {
@@ -144,26 +144,18 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
       BuildSlotBlocks(by_relation, kSampledQueryBlock);
   // Parallelism is over slot-aligned chunks, not raw block ranges: a chunk
   // boundary inside a slot would make both sides prepare the slot's pool.
-  const std::vector<std::pair<size_t, size_t>> chunks =
-      PartitionAtSlotBoundaries(blocks, num_r,
-                                GlobalThreadPool()->num_threads() * 4);
-
-  ParallelFor(
-      0, chunks.size(),
-      [&](size_t chunk_lo, size_t chunk_hi) {
-        // Chunks are contiguous, so one scratch serves the whole range and
-        // a slot spanning adjacent chunks is still prepared only once.
-        SlotBlockScratch scratch;
-        int64_t local_scored = 0;
-        for (size_t c = chunk_lo; c < chunk_hi; ++c) {
-          local_scored += ScoreSlotBlocks(
-              model, triples, filter, candidates, num_r, blocks,
-              chunks[c].first, chunks[c].second, options, &scratch,
-              result.ranks.data());
-        }
-        scored.fetch_add(local_scored, std::memory_order_relaxed);
-      },
-      /*min_chunk=*/1);
+  // The pass is its own TaskGroup, so a concurrent evaluation (another
+  // model in an EvalSession, another session entirely) interleaves chunks
+  // on the shared workers and neither pass waits on the other's work.
+  TaskGroup group;
+  SubmitSlotChunks(&group, blocks, num_r, [&](size_t lo, size_t hi) {
+    SlotBlockScratch scratch;
+    const int64_t local_scored =
+        ScoreSlotBlocks(model, triples, filter, candidates, num_r, blocks,
+                        lo, hi, options, &scratch, result.ranks.data());
+    scored.fetch_add(local_scored, std::memory_order_relaxed);
+  });
+  group.Wait();
 
   result.scored_candidates = scored.load();
   result.metrics = RankingMetrics::FromRanks(result.ranks);

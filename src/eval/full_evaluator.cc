@@ -4,8 +4,8 @@
 #include <numeric>
 
 #include "eval/slot_blocks.h"
+#include "sched/task_group.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace kgeval {
 

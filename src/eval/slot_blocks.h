@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/triple.h"
+#include "sched/task_group.h"
 #include "util/rng.h"
 
 namespace kgeval {
@@ -59,6 +60,19 @@ std::vector<int32_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng);
 std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
     const std::vector<SlotBlock>& blocks, int32_t num_relations,
     size_t max_chunks);
+
+/// Submits the slot-aligned chunks of `blocks` into `group`, one task per
+/// chunk calling `fn(chunk_begin, chunk_end)` — PartitionAtSlotBoundaries
+/// (targeting ~4 chunks per worker of the group's pool) moved behind the
+/// group API, so evaluators schedule a pass as "submit chunks, wait on *my*
+/// group" and concurrent evaluations interleave their chunks on the shared
+/// workers. Does not wait: callers Wait() on the group (after submitting
+/// any other work of the same job). `fn` is copied into each task and runs
+/// concurrently, once per chunk; per-chunk state (scratch buffers) belongs
+/// inside `fn`, which chunk-aligned slots keep prepare-once-per-slot.
+void SubmitSlotChunks(TaskGroup* group, const std::vector<SlotBlock>& blocks,
+                      int32_t num_relations,
+                      const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace kgeval
 

@@ -6,9 +6,9 @@
 #include <vector>
 
 #include "la/vector_ops.h"
+#include "sched/task_group.h"
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace kgeval {
 namespace {
@@ -97,34 +97,22 @@ double Trainer::TrainEpoch(KgeModel* model, int32_t epoch) {
     total_loss = RunChunk(*dataset_, order, 0, n, options_,
                           options_.seed ^ (epoch * 0x517CC1B7ULL), model);
   } else {
-    ThreadPool* pool = GlobalThreadPool();
-    std::atomic<size_t> pending{0};
-    std::condition_variable done_cv;
-    std::mutex done_mutex;
-    size_t launched = 0;
-    for (size_t lo = 0; lo < n; lo += chunk) {
-      ++launched;
-    }
-    pending.store(launched);
+    // One TaskGroup per epoch: the epoch waits only on its own chunks, so
+    // training can share the worker pool with concurrent evaluations (a
+    // monitoring session estimating the previous checkpoint, say).
+    TaskGroup group;
     for (size_t lo = 0; lo < n; lo += chunk) {
       const size_t hi = std::min(n, lo + chunk);
       const uint64_t seed = options_.seed ^ (epoch * 0x517CC1B7ULL) ^
                             (lo * 0x2545F4914F6CDD1DULL);
-      pool->Submit([&, lo, hi, seed] {
+      group.Submit([&, lo, hi, seed] {
         const double loss =
             RunChunk(*dataset_, order, lo, hi, options_, seed, model);
-        {
-          std::lock_guard<std::mutex> lock(loss_mutex);
-          total_loss += loss;
-        }
-        if (pending.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> lock(done_mutex);
-          done_cv.notify_all();
-        }
+        std::lock_guard<std::mutex> lock(loss_mutex);
+        total_loss += loss;
       });
     }
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return pending.load() == 0; });
+    group.Wait();
   }
   return total_loss / static_cast<double>(n);
 }

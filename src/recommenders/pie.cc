@@ -5,8 +5,8 @@
 
 #include "la/matrix.h"
 #include "la/vector_ops.h"
+#include "sched/task_group.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace kgeval {

@@ -1,0 +1,96 @@
+#include "sched/task_group.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace kgeval {
+
+struct TaskGroup::State {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::deque<std::function<void()>> queue;
+  /// Queued + currently running tasks of this group.
+  size_t pending = 0;
+};
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : GlobalThreadPool()),
+      state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  if (InThreadPoolWorker()) {
+    // Nested submission from a worker: run inline (see header).
+    task();
+    return;
+  }
+  // Copy the members BEFORE the task becomes visible: the moment it is
+  // queued, another thread's help-first Wait() may drain it, see the group
+  // complete, and destroy it — after which `this` is gone. The ticket
+  // likewise captures the state, not the group: tickets left in the pool
+  // queue after the group dies drain against an empty queue harmlessly.
+  std::shared_ptr<State> state = state_;
+  ThreadPool* pool = pool_;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->queue.push_back(std::move(task));
+    ++state->pending;
+  }
+  pool->Submit([state] { RunOne(state); });
+}
+
+bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->queue.empty()) return false;  // Already drained elsewhere.
+    task = std::move(state->queue.front());
+    state->queue.pop_front();
+  }
+  task();
+  std::lock_guard<std::mutex> lock(state->mutex);
+  if (--state->pending == 0) state->done.notify_all();
+  return true;
+}
+
+void TaskGroup::Wait() {
+  // Help-first: drain our own queue before blocking, so the waiting thread
+  // contributes a worker's worth of progress to its own job.
+  while (RunOne(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk) {
+  if (begin >= end) return;
+  if (InThreadPoolWorker()) {
+    // Re-entrant call from a pool worker: run inline (TaskGroup::Submit
+    // would inline each chunk anyway; skip the chunking overhead).
+    fn(begin, end);
+    return;
+  }
+  ThreadPool* pool = GlobalThreadPool();
+  const size_t n = end - begin;
+  if (pool->num_threads() <= 1 || n <= min_chunk) {
+    fn(begin, end);
+    return;
+  }
+  const size_t max_chunks = pool->num_threads() * 4;
+  const size_t chunk = std::max(min_chunk, (n + max_chunks - 1) / max_chunks);
+  TaskGroup group(pool);
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    const size_t hi = std::min(end, lo + chunk);
+    // `fn` outlives the group (Wait() below returns only after every chunk
+    // ran), so chunks capture it by reference.
+    group.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  group.Wait();
+}
+
+}  // namespace kgeval

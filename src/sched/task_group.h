@@ -1,0 +1,77 @@
+#ifndef KGEVAL_SCHED_TASK_GROUP_H_
+#define KGEVAL_SCHED_TASK_GROUP_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace kgeval {
+
+/// A group of tasks scheduled onto a shared worker pool, with a *per-group*
+/// wait: Wait() blocks only until this group's tasks finish, so any number
+/// of concurrent jobs (evaluations, training epochs, sessions) interleave
+/// their work on the same workers without ever waiting on each other —
+/// there is no process-wide barrier anywhere in the scheduler.
+///
+/// Scheduling model:
+///  - Submitted tasks land in the group's own queue; each submission posts
+///    one drain ticket to the worker pool, so workers pull group tasks in
+///    submission order while the pool stays a plain FIFO of tickets.
+///  - Wait() is help-first: the waiting thread drains its own group's
+///    remaining queue before blocking on in-flight tasks, so a blocked
+///    producer is never idle while its work sits queued (and a 1-worker
+///    pool still gets two threads of progress).
+///  - A task submitted *from a pool worker* runs inline on that worker (the
+///    PR 3 nested-submit rule): a worker that queued sub-tasks and waited
+///    on them would occupy one of the only threads able to drain them, so
+///    nesting would deadlock once every worker is inside such a wait.
+///
+/// The group's shared state outlives the object via shared_ptr: drain
+/// tickets still queued in the pool after Wait() returns find an empty
+/// queue and no-op instead of touching a destroyed group.
+class TaskGroup {
+ public:
+  /// `pool == nullptr` targets GlobalThreadPool().
+  explicit TaskGroup(ThreadPool* pool = nullptr);
+  /// Waits for any unfinished tasks (a group never abandons work).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues a task; runs it inline when called from a pool worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to *this group* has completed.
+  /// Tasks from other groups sharing the pool are not waited on. Safe to
+  /// call repeatedly; Submit()/Wait() cycles may be interleaved.
+  void Wait();
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  struct State;
+  /// Pops and runs one task of the group, completing it (decrement +
+  /// notify); false if the queue was already empty. The single drain
+  /// protocol behind both worker tickets and Wait()'s help loop.
+  static bool RunOne(const std::shared_ptr<State>& state);
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+/// Splits [begin, end) into contiguous chunks and runs
+/// `fn(chunk_begin, chunk_end)` as one TaskGroup on the global pool,
+/// blocking until the group drains. Concurrent calls interleave on the
+/// shared workers and wait only on their own chunks. Runs inline when the
+/// range is small, the pool has one thread, or the caller is itself a pool
+/// worker (the nested rule above).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_chunk = 256);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_SCHED_TASK_GROUP_H_

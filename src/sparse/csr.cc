@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/thread_pool.h"
+#include "sched/task_group.h"
 
 namespace kgeval {
 

@@ -1,14 +1,34 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
 
 namespace kgeval {
 namespace {
 
-/// Set for the lifetime of every pool worker thread; lets ParallelFor
-/// detect re-entrant calls (a worker waiting on chunks it submitted to its
-/// own pool would deadlock once all workers are inside such a wait).
+/// Set for the lifetime of every pool worker thread; lets the scheduler
+/// detect re-entrant submissions (a worker waiting on tasks it submitted to
+/// its own pool would deadlock once all workers are inside such a wait).
 thread_local bool tls_pool_worker = false;
+
+std::atomic<size_t> g_global_pool_threads{0};
+std::atomic<bool> g_global_pool_created{false};
+
+/// Resolved size of the global pool at creation: the explicit override,
+/// else KGEVAL_THREADS, else 0 (the constructor's hardware_concurrency
+/// default).
+size_t GlobalPoolSize() {
+  const size_t overridden = g_global_pool_threads.load();
+  if (overridden > 0) return overridden;
+  if (const char* env = std::getenv("KGEVAL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -35,14 +55,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
-    ++in_flight_;
   }
   work_available_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -61,57 +75,24 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
     }
     task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
   }
 }
 
 ThreadPool* GlobalThreadPool() {
-  static ThreadPool* pool = new ThreadPool();
+  static ThreadPool* pool = [] {
+    g_global_pool_created.store(true);
+    return new ThreadPool(GlobalPoolSize());
+  }();
   return pool;
 }
 
-bool InThreadPoolWorker() { return tls_pool_worker; }
-
-void ParallelFor(size_t begin, size_t end,
-                 const std::function<void(size_t, size_t)>& fn,
-                 size_t min_chunk) {
-  if (begin >= end) return;
-  if (InThreadPoolWorker()) {
-    // Re-entrant call from a pool worker: run inline. Submitting and
-    // waiting here would block a worker on tasks that only the (possibly
-    // fully occupied) workers themselves could drain.
-    fn(begin, end);
-    return;
-  }
-  ThreadPool* pool = GlobalThreadPool();
-  const size_t n = end - begin;
-  const size_t max_chunks = pool->num_threads() * 4;
-  size_t chunk = std::max(min_chunk, (n + max_chunks - 1) / max_chunks);
-  if (pool->num_threads() <= 1 || n <= min_chunk) {
-    fn(begin, end);
-    return;
-  }
-  // Per-call completion latch so concurrent ParallelFor calls (or other
-  // Submit users) never wait on each other's tasks.
-  struct Latch {
-    std::mutex m;
-    std::condition_variable cv;
-    size_t pending = 0;
-  } latch;
-  for (size_t lo = begin; lo < end; lo += chunk) ++latch.pending;
-  for (size_t lo = begin; lo < end; lo += chunk) {
-    const size_t hi = std::min(end, lo + chunk);
-    pool->Submit([&fn, &latch, lo, hi] {
-      fn(lo, hi);
-      std::unique_lock<std::mutex> lock(latch.m);
-      if (--latch.pending == 0) latch.cv.notify_all();
-    });
-  }
-  std::unique_lock<std::mutex> lock(latch.m);
-  latch.cv.wait(lock, [&latch] { return latch.pending == 0; });
+void SetGlobalThreadPoolThreads(size_t num_threads) {
+  KGEVAL_CHECK(!g_global_pool_created.load())
+      << "SetGlobalThreadPoolThreads must run before the first "
+      << "GlobalThreadPool() use: the pool's workers are already live";
+  g_global_pool_threads.store(num_threads);
 }
+
+bool InThreadPoolWorker() { return tls_pool_worker; }
 
 }  // namespace kgeval

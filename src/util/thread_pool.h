@@ -11,13 +11,16 @@
 
 namespace kgeval {
 
-/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until the
-/// queue drains and all in-flight tasks finish. Construction is cheap enough
-/// to create one per phase, but most callers use GlobalThreadPool().
+/// Fixed-size worker substrate: a FIFO of void() closures drained by
+/// `num_threads` workers. This is deliberately *all* it is — joining,
+/// grouping, and chunking live in sched/task_group.h, whose per-group waits
+/// replace the process-wide barrier the pool used to expose; callers that
+/// need completion tracking submit through a TaskGroup.
 class ThreadPool {
  public:
   /// `num_threads == 0` means hardware_concurrency().
   explicit ThreadPool(size_t num_threads = 0);
+  /// Drains the remaining queue, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -25,9 +28,6 @@ class ThreadPool {
 
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
-
-  /// Blocks until all submitted tasks have completed.
-  void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -38,29 +38,24 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
 
 /// Process-wide pool, lazily created, never destroyed (leaked on purpose so
-/// static-destruction order is a non-issue).
+/// static-destruction order is a non-issue). Sized by the first of:
+/// SetGlobalThreadPoolThreads(), the KGEVAL_THREADS environment variable,
+/// hardware_concurrency().
 ThreadPool* GlobalThreadPool();
 
-/// True iff the calling thread is a ThreadPool worker (any pool's). Used by
-/// ParallelFor to run nested calls inline instead of deadlocking.
-bool InThreadPoolWorker();
+/// Overrides the global pool's worker count (0 restores the
+/// KGEVAL_THREADS / hardware_concurrency default). Must be called before
+/// the pool's lazy creation — dies if GlobalThreadPool() already ran,
+/// because live workers (and work queued to them) cannot be resized.
+void SetGlobalThreadPoolThreads(size_t num_threads);
 
-/// Splits [begin, end) into contiguous chunks and runs
-/// `fn(chunk_begin, chunk_end)` on the global pool. Blocks until done.
-/// Runs inline when the range is small, the pool has one thread, or the
-/// caller is itself a pool worker: a worker that submitted chunks and then
-/// blocked on them would occupy one of the only threads able to drain its
-/// own queue, so nested/re-entrant calls would deadlock once every worker
-/// is inside such a wait.
-void ParallelFor(size_t begin, size_t end,
-                 const std::function<void(size_t, size_t)>& fn,
-                 size_t min_chunk = 256);
+/// True iff the calling thread is a ThreadPool worker (any pool's). Used by
+/// the scheduler to run nested submissions inline instead of deadlocking.
+bool InThreadPoolWorker();
 
 }  // namespace kgeval
 

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/eval_session.h"
+#include "core/sampled_evaluator.h"
+#include "models/kge_model.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+
+namespace kgeval {
+namespace {
+
+Dataset SynthDataset(uint64_t seed = 42) {
+  SynthConfig config;
+  config.num_entities = 600;
+  config.num_relations = 16;
+  config.num_types = 12;
+  config.num_train = 8000;
+  config.num_valid = 600;
+  config.num_test = 600;
+  config.seed = seed;
+  return GenerateDataset(config).ValueOrDie().dataset;
+}
+
+/// Deterministically-seeded (untrained) models: random init is all the
+/// rank-determinism tests need, and it keeps the fixture fast.
+std::unique_ptr<KgeModel> SeededModel(const Dataset& d, uint64_t seed) {
+  ModelOptions options;
+  options.dim = 16;
+  options.seed = seed;
+  return CreateModel(ModelType::kComplEx, d.num_entities(),
+                     d.num_relations(), options)
+      .ValueOrDie();
+}
+
+FrameworkOptions SessionOptions() {
+  FrameworkOptions options;
+  options.strategy = SamplingStrategy::kProbabilistic;
+  options.recommender = RecommenderType::kLwd;
+  options.sample_fraction = 0.1;
+  return options;
+}
+
+class EvalSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(SynthDataset());
+    filter_ = new FilterIndex(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete filter_;
+    delete dataset_;
+    filter_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static FilterIndex* filter_;
+};
+
+Dataset* EvalSessionTest::dataset_ = nullptr;
+FilterIndex* EvalSessionTest::filter_ = nullptr;
+
+TEST_F(EvalSessionTest, PinnedPoolsMakeRepeatedEstimatesIdentical) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  auto model = SeededModel(*dataset_, 7);
+  const SampledEvalResult first = session->Estimate(*model);
+  const SampledEvalResult second = session->Estimate(*model);
+  // Same pinned pools -> bit-identical everything.
+  EXPECT_EQ(first.ranks, second.ranks);
+  EXPECT_EQ(first.metrics.mrr, second.metrics.mrr);
+  EXPECT_EQ(first.scored_candidates, second.scored_candidates);
+
+  // The raw framework redraws per call: on 600 entities with n_s = 60 per
+  // slot, two draws collide with probability ~0 — the ranks must move.
+  auto framework =
+      EvaluationFramework::Build(dataset_, SessionOptions()).ValueOrDie();
+  const SampledEvalResult draw1 =
+      framework->Estimate(*model, *filter_, Split::kTest);
+  const SampledEvalResult draw2 =
+      framework->Estimate(*model, *filter_, Split::kTest);
+  EXPECT_NE(draw1.ranks, draw2.ranks);
+}
+
+TEST_F(EvalSessionTest, EstimateMatchesDirectEvaluateSampledOnPinnedPools) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  auto model = SeededModel(*dataset_, 11);
+  const SampledEvalResult via_session = session->Estimate(*model);
+  SampledEvalOptions eval_options;
+  eval_options.tie = session->framework().options().tie;
+  const SampledEvalResult direct = EvaluateSampled(
+      *model, *dataset_, *filter_, Split::kTest, session->pools(),
+      eval_options);
+  EXPECT_EQ(via_session.ranks, direct.ranks);
+  EXPECT_EQ(via_session.metrics.mrr, direct.metrics.mrr);
+}
+
+TEST_F(EvalSessionTest, EstimateManyMatchesSequentialRankForRank) {
+  // The acceptance bar of the concurrent scheduler: N models evaluated
+  // concurrently on the pinned draw must be bit-identical to N sequential
+  // Estimate() calls on that draw — whatever interleaving the shared
+  // workers produced.
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  std::vector<std::unique_ptr<KgeModel>> owned;
+  std::vector<const KgeModel*> models;
+  for (uint64_t seed : {3u, 17u, 29u, 71u}) {
+    owned.push_back(SeededModel(*dataset_, seed));
+    models.push_back(owned.back().get());
+  }
+  const std::vector<SampledEvalResult> many = session->EstimateMany(models);
+  ASSERT_EQ(many.size(), models.size());
+  for (size_t m = 0; m < models.size(); ++m) {
+    const SampledEvalResult sequential = session->Estimate(*models[m]);
+    EXPECT_EQ(many[m].ranks, sequential.ranks) << "model " << m;
+    EXPECT_EQ(many[m].metrics.mrr, sequential.metrics.mrr) << "model " << m;
+    EXPECT_EQ(many[m].ci.mrr, sequential.ci.mrr) << "model " << m;
+    EXPECT_EQ(many[m].scored_candidates, sequential.scored_candidates)
+        << "model " << m;
+  }
+  // Distinct models must actually rank differently (the concurrency can't
+  // have smeared one model's scores into another's buffers).
+  EXPECT_NE(many[0].ranks, many[1].ranks);
+}
+
+TEST_F(EvalSessionTest, EstimateManyHonorsMaxTriples) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  auto model = SeededModel(*dataset_, 5);
+  const std::vector<SampledEvalResult> many =
+      session->EstimateMany({model.get()}, /*max_triples=*/100);
+  ASSERT_EQ(many.size(), 1u);
+  EXPECT_EQ(many[0].ranks.size(), 200u);  // 2 queries per triple.
+  const SampledEvalResult sequential =
+      session->Estimate(*model, /*max_triples=*/100);
+  EXPECT_EQ(many[0].ranks, sequential.ranks);
+}
+
+TEST_F(EvalSessionTest, EstimateAdaptiveManyMatchesSequential) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  std::vector<std::unique_ptr<KgeModel>> owned;
+  std::vector<const KgeModel*> models;
+  for (uint64_t seed : {13u, 41u, 97u}) {
+    owned.push_back(SeededModel(*dataset_, seed));
+    models.push_back(owned.back().get());
+  }
+  AdaptiveEvalOptions adaptive;
+  adaptive.target_half_width = 0.05;
+  adaptive.min_queries = 256;
+  adaptive.batch_queries = 256;
+  const std::vector<AdaptiveEvalResult> many =
+      session->EstimateAdaptiveMany(models, adaptive);
+  ASSERT_EQ(many.size(), models.size());
+  for (size_t m = 0; m < models.size(); ++m) {
+    const AdaptiveEvalResult sequential =
+        session->EstimateAdaptive(*models[m], adaptive);
+    EXPECT_EQ(many[m].ranks, sequential.ranks) << "model " << m;
+    EXPECT_EQ(many[m].evaluated_queries, sequential.evaluated_queries)
+        << "model " << m;
+    EXPECT_EQ(many[m].scored_candidates, sequential.scored_candidates)
+        << "model " << m;
+    EXPECT_EQ(many[m].metrics.mrr, sequential.metrics.mrr) << "model " << m;
+    EXPECT_EQ(many[m].ci.mrr, sequential.ci.mrr) << "model " << m;
+    EXPECT_EQ(many[m].rounds, sequential.rounds) << "model " << m;
+  }
+  // And the concurrent pass itself is deterministic end to end.
+  const std::vector<AdaptiveEvalResult> rerun =
+      session->EstimateAdaptiveMany(models, adaptive);
+  for (size_t m = 0; m < models.size(); ++m) {
+    EXPECT_EQ(many[m].ranks, rerun[m].ranks) << "model " << m;
+  }
+}
+
+TEST_F(EvalSessionTest, RedrawPoolsReplacesThePinnedDraw) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  const SampledCandidates before = session->pools();
+  session->RedrawPools();
+  EXPECT_NE(before.pools, session->pools().pools);
+  // The new draw is pinned just like the first one was.
+  auto model = SeededModel(*dataset_, 23);
+  const SampledEvalResult first = session->Estimate(*model);
+  const SampledEvalResult second = session->Estimate(*model);
+  EXPECT_EQ(first.ranks, second.ranks);
+}
+
+TEST_F(EvalSessionTest, AdoptPinsTheNextFrameworkDraw) {
+  // A session adopted from a framework must see the draw the framework's
+  // RNG was about to produce — i.e. exactly what a twin framework draws.
+  auto framework =
+      EvaluationFramework::Build(dataset_, SessionOptions()).ValueOrDie();
+  auto twin =
+      EvaluationFramework::Build(dataset_, SessionOptions()).ValueOrDie();
+  const SampledCandidates expected = twin->DrawPools(Split::kTest);
+  auto session =
+      EvalSession::Adopt(std::move(framework), filter_, Split::kTest);
+  EXPECT_EQ(session->pools().pools, expected.pools);
+  EXPECT_EQ(session->split(), Split::kTest);
+}
+
+TEST_F(EvalSessionTest, CreateRejectsNullInputs) {
+  EXPECT_FALSE(
+      EvalSession::Create(nullptr, filter_, SessionOptions()).ok());
+  EXPECT_FALSE(
+      EvalSession::Create(dataset_, nullptr, SessionOptions()).ok());
+}
+
+}  // namespace
+}  // namespace kgeval
