@@ -1,8 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -37,11 +40,13 @@ BenchArgs ParseArgs(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be positive\n");
         std::exit(2);
       }
+    } else if (arg == "--from-disk") {
+      args.from_disk = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (supported: --paper-scale --fast "
                    "--epochs=N --dataset=NAME --json --half-width=X "
-                   "--threads=N)\n",
+                   "--threads=N --from-disk)\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -78,6 +83,15 @@ std::unique_ptr<KgeModel> TrainModel(const Dataset& dataset,
   Trainer trainer(&dataset, trainer_options);
   KGEVAL_CHECK(trainer.Train(model.get()).ok());
   return model;
+}
+
+std::string MakeScratchDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (name + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
 }
 
 void PrintHeader(const std::string& title) {

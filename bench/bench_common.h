@@ -24,6 +24,10 @@ namespace bench {
 ///   --threads=N       worker-pool size (default: KGEVAL_THREADS env var,
 ///                     then hardware_concurrency) — makes bench numbers
 ///                     comparable across machines and CI runners
+///   --from-disk       checkpoint-streaming mode (benches that support it):
+///                     train once writing per-epoch snapshots, then sweep
+///                     the files with EstimateCheckpoints instead of
+///                     estimating models resident in memory
 struct BenchArgs {
   bool paper_scale = false;
   bool fast = false;
@@ -32,6 +36,7 @@ struct BenchArgs {
   bool json = false;
   double half_width = 0.01;
   int32_t threads = 0;
+  bool from_disk = false;
 };
 
 /// Parses the shared flags. Applies --threads (or its KGEVAL_THREADS
@@ -56,6 +61,12 @@ struct TrainSpec {
 /// are not recoverable anyway).
 std::unique_ptr<KgeModel> TrainModel(const Dataset& dataset,
                                      const TrainSpec& spec);
+
+/// Fresh pid-suffixed scratch directory under the system temp dir (any
+/// previous contents removed): concurrent bench runs on one machine —
+/// parallel CI jobs, say — must not clobber each other's files. Callers
+/// remove it when done.
+std::string MakeScratchDir(const std::string& name);
 
 /// Section header: "==== title ====".
 void PrintHeader(const std::string& title);

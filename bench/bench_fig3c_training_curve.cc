@@ -6,14 +6,22 @@
 // pools are drawn once and pinned, so (a) the per-epoch estimate pays no
 // sampling cost and (b) every epoch ranks against identical pools — the
 // curve's movement is training progress, not pool-draw noise.
+//
+// --from-disk switches to the checkpoint-streaming variant of the same
+// figure: train once writing per-epoch snapshots, then sweep the files with
+// EstimateCheckpoints — the curve a monitoring service reconstructs from a
+// finished run's checkpoint directory instead of riding inside the trainer.
 
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/eval_session.h"
 #include "eval/full_evaluator.h"
 #include "models/trainer.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -53,38 +61,88 @@ int main(int argc, char** argv) {
   TrainerOptions trainer_options;
   trainer_options.epochs = epochs;
   trainer_options.negatives_per_positive = 8;
-  Trainer trainer(&dataset, trainer_options);
 
   bench::PrintHeader(StrFormat(
-      "Figure 3c: estimated validation MRR across training (%s, ComplEx)",
-      preset.c_str()));
+      "Figure 3c: estimated validation MRR across training (%s, ComplEx%s)",
+      preset.c_str(), args.from_disk ? ", from-disk checkpoints" : ""));
   TextTable table({"Step (triples seen)", "Probabilistic", "Random",
                    "Static", "True MRR"});
   FullEvalOptions full_options;
   full_options.max_triples = 3000;
-  const Status status = trainer.Train(
-      model.get(), [&](int32_t epoch, const KgeModel& m) {
-        const double truth =
-            EvaluateFullRanking(m, dataset, filter, Split::kValid,
-                                full_options)
-                .metrics.mrr;
-        const double prob =
-            sessions[SamplingStrategy::kProbabilistic]
-                ->Estimate(m, full_options.max_triples)
-                .metrics.mrr;
-        const double random = sessions[SamplingStrategy::kRandom]
-                                  ->Estimate(m, full_options.max_triples)
-                                  .metrics.mrr;
-        const double station = sessions[SamplingStrategy::kStatic]
-                                   ->Estimate(m, full_options.max_triples)
-                                   .metrics.mrr;
-        table.AddRow({FormatWithCommas(static_cast<long long>(epoch + 1) *
-                                       dataset.train().size()),
-                      bench::F(prob, 4), bench::F(random, 4),
-                      bench::F(station, 4), bench::F(truth, 4)});
-      });
-  KGEVAL_CHECK(status.ok());
-  std::printf("%s", table.ToString().c_str());
+
+  if (args.from_disk) {
+    // Checkpoint-streaming mode: the trainer only writes snapshots; every
+    // estimate happens afterwards, from the files, on the pinned pools.
+    const std::string ckpt_dir = bench::MakeScratchDir("kgeval_fig3c_ckpt");
+    trainer_options.checkpoint_dir = ckpt_dir;
+    Trainer trainer(&dataset, trainer_options);
+    KGEVAL_CHECK(trainer.Train(model.get()).ok());
+    std::vector<std::string> paths;
+    for (int32_t epoch = 0; epoch < epochs; ++epoch) {
+      paths.push_back(CheckpointPath(ckpt_dir, epoch));
+    }
+
+    std::map<SamplingStrategy, std::vector<CheckpointEstimate>> curves;
+    double sweep_seconds = 0.0;
+    for (auto& [strategy, session] : sessions) {
+      CheckpointSweepStats stats;
+      curves[strategy] = session->EstimateCheckpoints(
+          paths, full_options.max_triples, nullptr, &stats);
+      sweep_seconds += stats.wall_seconds;
+    }
+    for (int32_t epoch = 0; epoch < epochs; ++epoch) {
+      auto truth_model =
+          sessions.begin()->second->framework().LoadCheckpoint(paths[epoch]);
+      KGEVAL_CHECK(truth_model.ok());
+      const double truth =
+          EvaluateFullRanking(*truth_model.ValueOrDie(), dataset, filter,
+                              Split::kValid, full_options)
+              .metrics.mrr;
+      const auto mrr_at = [&](SamplingStrategy strategy) {
+        const CheckpointEstimate& outcome = curves[strategy][epoch];
+        KGEVAL_CHECK(outcome.status.ok());
+        return outcome.result.metrics.mrr;
+      };
+      table.AddRow({FormatWithCommas(static_cast<long long>(epoch + 1) *
+                                     dataset.train().size()),
+                    bench::F(mrr_at(SamplingStrategy::kProbabilistic), 4),
+                    bench::F(mrr_at(SamplingStrategy::kRandom), 4),
+                    bench::F(mrr_at(SamplingStrategy::kStatic), 4),
+                    bench::F(truth, 4)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    bench::PrintNote(StrFormat(
+        "from-disk: the 3 sessions swept %d snapshots in %.3fs total "
+        "(bounded-resident concurrent loads), reconstructing the same "
+        "monitoring curve a per-epoch callback would have produced",
+        epochs, sweep_seconds));
+    std::filesystem::remove_all(ckpt_dir);
+  } else {
+    Trainer trainer(&dataset, trainer_options);
+    const Status status = trainer.Train(
+        model.get(), [&](int32_t epoch, const KgeModel& m) {
+          const double truth =
+              EvaluateFullRanking(m, dataset, filter, Split::kValid,
+                                  full_options)
+                  .metrics.mrr;
+          const double prob =
+              sessions[SamplingStrategy::kProbabilistic]
+                  ->Estimate(m, full_options.max_triples)
+                  .metrics.mrr;
+          const double random = sessions[SamplingStrategy::kRandom]
+                                    ->Estimate(m, full_options.max_triples)
+                                    .metrics.mrr;
+          const double station = sessions[SamplingStrategy::kStatic]
+                                     ->Estimate(m, full_options.max_triples)
+                                     .metrics.mrr;
+          table.AddRow({FormatWithCommas(static_cast<long long>(epoch + 1) *
+                                         dataset.train().size()),
+                        bench::F(prob, 4), bench::F(random, 4),
+                        bench::F(station, 4), bench::F(truth, 4)});
+        });
+    KGEVAL_CHECK(status.ok());
+    std::printf("%s", table.ToString().c_str());
+  }
   bench::PrintNote(
       "paper shape: the Probabilistic curve coincides with the true MRR "
       "across training; Random tracks the trend but at a large upward "

@@ -1,47 +1,66 @@
 #include "core/eval_session.h"
 
-#include <algorithm>
 #include <atomic>
-#include <thread>
+#include <mutex>
 #include <utility>
 
+#include "sched/task_group.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace kgeval {
 namespace {
 
-/// Runs job(i) for every i in [0, n) concurrently on caller-side *job*
-/// threads (one per in-flight evaluation request), not workers — each job
-/// fans its chunks out to the shared worker pool through its own
-/// TaskGroups and helps drain them while it waits, so in-flight jobs
-/// interleave on the workers instead of serializing behind each other.
-/// In-flight jobs are capped at the worker count: job threads compute
-/// (help-first waits), so a 100-checkpoint sweep on 8 workers runs 8 jobs
-/// at a time instead of oversubscribing the machine with 100 compute
-/// threads (and 100 jobs' scratch alive at once). Jobs are claimed from a
-/// shared counter, so the cap changes scheduling only — never results.
-void RunJobsConcurrently(size_t n, const std::function<void(size_t)>& job) {
-  if (n == 0) return;
-  const size_t width = std::min(
-      n, std::max<size_t>(1, GlobalThreadPool()->num_threads()));
-  std::atomic<size_t> next{0};
-  const auto run_jobs = [&next, n, &job] {
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      job(i);
+/// The shared core of both checkpoint sweeps: loads each path on a job
+/// thread (RunJobsConcurrently caps in-flight jobs at the worker count, so
+/// with one model per job the resident-model count is bounded the same
+/// way), evaluates it through `eval`, records the outcome, frees the model
+/// *before* streaming progress, and tracks the resident high-water mark.
+/// `Outcome` is CheckpointEstimate or its adaptive twin; `eval(model)`
+/// returns the matching result type.
+template <typename Outcome, typename Eval>
+std::vector<Outcome> SweepCheckpoints(
+    const EvaluationFramework& framework,
+    const std::vector<std::string>& paths, const Eval& eval,
+    const std::function<void(size_t, const Outcome&)>& progress,
+    CheckpointSweepStats* stats) {
+  WallTimer timer;
+  std::vector<Outcome> outcomes(paths.size());
+  std::atomic<size_t> resident{0};
+  std::atomic<size_t> high_water{0};
+  std::atomic<size_t> failed{0};
+  std::mutex progress_mutex;
+  RunJobsConcurrently(paths.size(), [&](size_t i) {
+    // Counted resident across the load itself: a model being deserialized
+    // already occupies its full embedding tables, so the high-water mark
+    // must see it before LoadCheckpoint returns.
+    const size_t now = resident.fetch_add(1) + 1;
+    size_t seen = high_water.load();
+    while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
     }
-  };
-  if (width == 1) {
-    run_jobs();
-    return;
+    auto model_or = framework.LoadCheckpoint(paths[i]);
+    if (!model_or.ok()) {
+      resident.fetch_sub(1);
+      outcomes[i].status = model_or.status();
+      failed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::unique_ptr<KgeModel> model = std::move(model_or).ValueOrDie();
+      outcomes[i].result = eval(*model);
+      model.reset();  // Freed before progress runs: the callback must
+                      // never extend a model's residency.
+      resident.fetch_sub(1);
+    }
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(i, outcomes[i]);
+    }
+  });
+  if (stats != nullptr) {
+    stats->max_resident_models = high_water.load();
+    stats->failed = failed.load();
+    stats->wall_seconds = timer.Seconds();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(width - 1);
-  for (size_t t = 1; t < width; ++t) {
-    threads.emplace_back(run_jobs);
-  }
-  run_jobs();
-  for (std::thread& thread : threads) thread.join();
+  return outcomes;
 }
 
 }  // namespace
@@ -104,6 +123,26 @@ std::vector<AdaptiveEvalResult> EvalSession::EstimateAdaptiveMany(
     results[i] = EstimateAdaptive(*models[i], adaptive);
   });
   return results;
+}
+
+std::vector<CheckpointEstimate> EvalSession::EstimateCheckpoints(
+    const std::vector<std::string>& paths, int64_t max_triples,
+    const CheckpointProgressFn& progress, CheckpointSweepStats* stats) const {
+  return SweepCheckpoints<CheckpointEstimate>(
+      *framework_, paths,
+      [&](const KgeModel& model) { return Estimate(model, max_triples); },
+      progress, stats);
+}
+
+std::vector<CheckpointAdaptiveEstimate> EvalSession::EstimateAdaptiveCheckpoints(
+    const std::vector<std::string>& paths,
+    const AdaptiveEvalOptions& adaptive,
+    const CheckpointAdaptiveProgressFn& progress,
+    CheckpointSweepStats* stats) const {
+  return SweepCheckpoints<CheckpointAdaptiveEstimate>(
+      *framework_, paths,
+      [&](const KgeModel& model) { return EstimateAdaptive(model, adaptive); },
+      progress, stats);
 }
 
 void EvalSession::RedrawPools() { pools_ = framework_->DrawPools(split_); }

@@ -1,12 +1,39 @@
 #ifndef KGEVAL_CORE_EVAL_SESSION_H_
 #define KGEVAL_CORE_EVAL_SESSION_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/framework.h"
 
 namespace kgeval {
+
+/// Per-checkpoint outcome of a sweep: the load/evaluate Status plus the
+/// estimate, which is meaningful iff status.ok(). A failed path (missing,
+/// corrupt, truncated, or mismatched checkpoint) carries the error here
+/// instead of aborting the sweep.
+struct CheckpointEstimate {
+  Status status;
+  SampledEvalResult result;
+};
+
+/// Adaptive counterpart of CheckpointEstimate.
+struct CheckpointAdaptiveEstimate {
+  Status status;
+  AdaptiveEvalResult result;
+};
+
+/// Aggregate instrumentation of one checkpoint sweep.
+struct CheckpointSweepStats {
+  /// High-water mark of models resident in memory at once. Bounded by the
+  /// worker-pool width: a 100-epoch sweep never holds 100 embedding tables.
+  size_t max_resident_models = 0;
+  /// Paths whose outcome carries a non-OK Status.
+  size_t failed = 0;
+  double wall_seconds = 0.0;
+};
 
 /// A multi-model evaluation session: one EvaluationFramework plus one
 /// *pinned* pool draw for one split. Every Estimate*/EstimateMany* call
@@ -71,6 +98,38 @@ class EvalSession {
   std::vector<AdaptiveEvalResult> EstimateAdaptiveMany(
       const std::vector<const KgeModel*>& models,
       const AdaptiveEvalOptions& adaptive = {}) const;
+
+  /// Streams the outcome of checkpoint `index` as soon as it is recorded.
+  /// Invoked from the sweep's job threads in completion order (not input
+  /// order), serialized — two callbacks never overlap.
+  using CheckpointProgressFn =
+      std::function<void(size_t index, const CheckpointEstimate&)>;
+  using CheckpointAdaptiveProgressFn =
+      std::function<void(size_t index, const CheckpointAdaptiveEstimate&)>;
+
+  /// Sweeps checkpoint files on disk against the pinned pools — the
+  /// "evaluate every epoch snapshot" loop the paper's monitoring workload
+  /// needs. Each path is loaded on a job thread (LoadCheckpoint), estimated
+  /// exactly like Estimate(), and freed as soon as its result is recorded,
+  /// so at most worker-count models are ever resident (stats reports the
+  /// observed high-water mark). Outcome i is rank-for-rank identical to a
+  /// sequential LoadModel + Estimate on paths[i]; a path that fails to load
+  /// carries its Status in the outcome without disturbing the rest of the
+  /// sweep. `progress` (optional) streams outcomes as they complete;
+  /// `stats` (optional) receives sweep-level instrumentation.
+  std::vector<CheckpointEstimate> EstimateCheckpoints(
+      const std::vector<std::string>& paths, int64_t max_triples = 0,
+      const CheckpointProgressFn& progress = nullptr,
+      CheckpointSweepStats* stats = nullptr) const;
+
+  /// Adaptive counterpart of EstimateCheckpoints: each snapshot is
+  /// evaluated with EstimateAdaptive's confidence-bounded pass, same
+  /// bounded-resident loading and per-path error semantics.
+  std::vector<CheckpointAdaptiveEstimate> EstimateAdaptiveCheckpoints(
+      const std::vector<std::string>& paths,
+      const AdaptiveEvalOptions& adaptive = {},
+      const CheckpointAdaptiveProgressFn& progress = nullptr,
+      CheckpointSweepStats* stats = nullptr) const;
 
   /// Replaces the pinned pools with a fresh draw (advancing the framework's
   /// RNG). Estimates before and after are *not* comparable draw-wise — call

@@ -1,7 +1,10 @@
 #include "core/framework.h"
 
 #include <cmath>
+#include <utility>
 
+#include "models/checkpoint.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace kgeval {
@@ -89,6 +92,55 @@ AdaptiveEvalResult EvaluationFramework::EstimateAdaptiveOnPools(
   eval_options.tie = options_.tie;
   return EvaluateAdaptive(model, *dataset_, filter, split, pools,
                           eval_options);
+}
+
+namespace {
+
+/// A checkpointed model must describe this dataset's graph: mismatched
+/// counts would index out of the pools (head/tail ids beyond the model's
+/// embedding table) instead of failing cleanly.
+Status CheckCheckpointShape(const KgeModel& model, const Dataset& dataset,
+                            const std::string& path) {
+  if (model.num_entities() != dataset.num_entities() ||
+      model.num_relations() != dataset.num_relations()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: checkpoint is for %d entities / %d relations, dataset has "
+        "%d / %d",
+        path.c_str(), model.num_entities(), model.num_relations(),
+        dataset.num_entities(), dataset.num_relations()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KgeModel>> EvaluationFramework::LoadCheckpoint(
+    const std::string& path) const {
+  auto model_or = LoadModel(path);
+  if (!model_or.ok()) return model_or.status();
+  std::unique_ptr<KgeModel> model = std::move(model_or).ValueOrDie();
+  KGEVAL_RETURN_NOT_OK(CheckCheckpointShape(*model, *dataset_, path));
+  return {std::move(model)};
+}
+
+Result<SampledEvalResult> EvaluationFramework::EstimateCheckpointOnPools(
+    const std::string& path, const FilterIndex& filter, Split split,
+    const SampledCandidates& pools, int64_t max_triples) const {
+  auto model_or = LoadCheckpoint(path);
+  if (!model_or.ok()) return model_or.status();
+  return EstimateOnPools(*model_or.ValueOrDie(), filter, split, pools,
+                         max_triples);
+}
+
+Result<AdaptiveEvalResult>
+EvaluationFramework::EstimateAdaptiveCheckpointOnPools(
+    const std::string& path, const FilterIndex& filter, Split split,
+    const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive)
+    const {
+  auto model_or = LoadCheckpoint(path);
+  if (!model_or.ok()) return model_or.status();
+  return EstimateAdaptiveOnPools(*model_or.ValueOrDie(), filter, split,
+                                 pools, adaptive);
 }
 
 }  // namespace kgeval

@@ -80,6 +80,34 @@ class EvaluationFramework {
       const SampledCandidates& pools,
       const AdaptiveEvalOptions& adaptive = {}) const;
 
+  /// Loads the checkpoint at `path` (models/checkpoint.h) and validates it
+  /// against the framework's dataset: mismatched entity/relation counts
+  /// would index past the model's embedding tables during scoring, so they
+  /// fail here as InvalidArgument instead. The building block of the
+  /// checkpoint sweep — EvalSession::EstimateCheckpoints calls this
+  /// directly (keeping load and estimate separate is what lets it bound
+  /// model residency and free each model before streaming its result).
+  /// Const and thread-safe.
+  Result<std::unique_ptr<KgeModel>> LoadCheckpoint(
+      const std::string& path) const;
+
+  /// One-shot convenience fusing LoadCheckpoint + EstimateOnPools: loads
+  /// the checkpoint at `path`, estimates it on caller-provided pools, and
+  /// frees the model before returning — for single-checkpoint callers (a
+  /// service request naming one path) that don't need a sweep's residency
+  /// accounting. A load failure (missing, corrupt, or truncated file) or a
+  /// dataset mismatch comes back as the Status, never a crash. Const and
+  /// thread-safe like EstimateOnPools.
+  Result<SampledEvalResult> EstimateCheckpointOnPools(
+      const std::string& path, const FilterIndex& filter, Split split,
+      const SampledCandidates& pools, int64_t max_triples = 0) const;
+
+  /// Adaptive counterpart of EstimateCheckpointOnPools.
+  Result<AdaptiveEvalResult> EstimateAdaptiveCheckpointOnPools(
+      const std::string& path, const FilterIndex& filter, Split split,
+      const SampledCandidates& pools,
+      const AdaptiveEvalOptions& adaptive = {}) const;
+
   /// Resolved per-slot sample count n_s.
   int64_t SampleSize() const;
 

@@ -1,7 +1,9 @@
 #include "models/checkpoint.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <type_traits>
 
 #include "util/string_util.h"
 
@@ -11,8 +13,25 @@ namespace {
 constexpr char kMagic[4] = {'K', 'G', 'E', 'V'};
 constexpr int32_t kVersion = 1;
 
+/// Every model exposes a handful of parameter matrices; a header claiming
+/// orders of magnitude more is corrupt, not big. The shape caps likewise
+/// bound what any real checkpoint describes: without them a single
+/// bit-flipped count would sail into CreateModel and die in a huge (or
+/// overflowing) allocation instead of returning InvalidArgument.
+constexpr int32_t kMaxParams = 1024;
+constexpr int32_t kMaxEntities = 1 << 28;
+constexpr int32_t kMaxRelations = 1 << 24;
+constexpr int32_t kMaxDim = 1 << 16;
+constexpr int32_t kMaxRelationDim = 1 << 30;
+/// Cap on any one embedding table (rows x cols), in elements: 2^33 floats
+/// is 32 GiB — beyond any model this library trains, and small enough that
+/// size arithmetic downstream can never overflow.
+constexpr int64_t kMaxTableElements = int64_t{1} << 33;
+
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "only scalar fields are serialized directly");
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
@@ -45,6 +64,77 @@ struct Header {
   int32_t num_params = 0;
 };
 
+/// The v1 header occupies 40 bytes on disk: five int32 fields, 4 pad bytes,
+/// the uint64 seed, the int32 parameter count, 4 pad bytes. The pad bytes
+/// mirror the struct padding v1 files were written with (historically
+/// whatever bytes the stack held — writing the struct as one POD leaked
+/// uninitialized memory to disk and tied the format to one ABI's layout);
+/// they are written as zeros and ignored on read, so well-formed v1 files
+/// stay readable and freshly written files are byte-deterministic.
+void WriteHeader(std::ofstream& out, const Header& header) {
+  const int32_t pad = 0;
+  WritePod(out, header.model_type);
+  WritePod(out, header.num_entities);
+  WritePod(out, header.num_relations);
+  WritePod(out, header.dim);
+  WritePod(out, header.relation_dim);
+  WritePod(out, pad);
+  WritePod(out, header.seed);
+  WritePod(out, header.num_params);
+  WritePod(out, pad);
+}
+
+bool ReadHeaderFields(std::ifstream& in, Header* header) {
+  int32_t pad = 0;
+  return ReadPod(in, &header->model_type) &&
+         ReadPod(in, &header->num_entities) &&
+         ReadPod(in, &header->num_relations) && ReadPod(in, &header->dim) &&
+         ReadPod(in, &header->relation_dim) && ReadPod(in, &pad) &&
+         ReadPod(in, &header->seed) && ReadPod(in, &header->num_params) &&
+         ReadPod(in, &pad);
+}
+
+/// Rejects headers whose fields cannot describe any model: counts and
+/// dimensions flow into CreateModel and allocation sizes, so a negative or
+/// absurd value from a corrupt file must stop here, not surface as a crash
+/// or a bogus model downstream.
+Status ValidateHeader(const Header& header, const std::string& path) {
+  if (header.model_type < 0 ||
+      header.model_type > static_cast<int32_t>(kLastModelType)) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: invalid model type %d", path.c_str(), header.model_type));
+  }
+  if (header.num_entities <= 0 || header.num_entities > kMaxEntities ||
+      header.num_relations <= 0 || header.num_relations > kMaxRelations) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: invalid entity/relation counts %d/%d", path.c_str(),
+        header.num_entities, header.num_relations));
+  }
+  if (header.dim <= 0 || header.dim > kMaxDim || header.relation_dim < 0 ||
+      header.relation_dim > kMaxRelationDim) {
+    return Status::InvalidArgument(
+        StrFormat("%s: invalid dimensions dim=%d relation_dim=%d",
+                  path.c_str(), header.dim, header.relation_dim));
+  }
+  const int64_t entity_elements =
+      int64_t{header.num_entities} * int64_t{header.dim};
+  const int64_t relation_elements =
+      int64_t{header.num_relations} *
+      std::max(int64_t{header.relation_dim}, int64_t{header.dim});
+  if (entity_elements > kMaxTableElements ||
+      relation_elements > kMaxTableElements) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: embedding tables implausibly large (%lld / %lld elements)",
+        path.c_str(), static_cast<long long>(entity_elements),
+        static_cast<long long>(relation_elements)));
+  }
+  if (header.num_params <= 0 || header.num_params > kMaxParams) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: invalid parameter count %d", path.c_str(), header.num_params));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveModel(KgeModel* model, const std::string& path) {
@@ -66,7 +156,7 @@ Status SaveModel(KgeModel* model, const std::string& path) {
   header.relation_dim = model->options().relation_dim;
   header.seed = model->options().seed;
   header.num_params = static_cast<int32_t>(params.size());
-  WritePod(out, header);
+  WriteHeader(out, header);
 
   for (const auto& param : params) {
     WriteString(out, param.name);
@@ -76,8 +166,16 @@ Status SaveModel(KgeModel* model, const std::string& path) {
               static_cast<std::streamsize>(param.matrix->size() *
                                            sizeof(float)));
   }
+  // The final write can succeed into the stream buffer while the bytes
+  // never reach the disk (ENOSPC, quota): only a flush + close forces the
+  // data out where the failure becomes observable on the stream state.
+  out.flush();
   if (!out.good()) {
     return Status::IoError(StrFormat("short write to %s", path.c_str()));
+  }
+  out.close();
+  if (out.fail()) {
+    return Status::IoError(StrFormat("failed to close %s", path.c_str()));
   }
   return Status::OK();
 }
@@ -97,9 +195,10 @@ Result<Header> ReadHeader(std::ifstream& in, const std::string& path) {
         StrFormat("unsupported checkpoint version %d", version));
   }
   Header header;
-  if (!ReadPod(in, &header)) {
+  if (!ReadHeaderFields(in, &header)) {
     return Status::IoError("truncated checkpoint header");
   }
+  KGEVAL_RETURN_NOT_OK(ValidateHeader(header, path));
   return header;
 }
 
@@ -175,10 +274,22 @@ Status LoadModelInto(KgeModel* model, const std::string& path) {
   auto header_or = ReadHeader(in, path);
   if (!header_or.ok()) return header_or.status();
   const Header header = header_or.ValueOrDie();
+  // The full header is validated up front: a dim mismatch diagnosed here
+  // names the real problem instead of surfacing later as a per-parameter
+  // shape error (or, for models whose first parameter happens to match,
+  // not at all until a later parameter).
   if (header.model_type != static_cast<int32_t>(model->type()) ||
       header.num_entities != model->num_entities() ||
       header.num_relations != model->num_relations()) {
     return Status::InvalidArgument("checkpoint/model type or shape mismatch");
+  }
+  if (header.dim != model->options().dim ||
+      header.relation_dim != model->options().relation_dim) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint dimensions (dim=%d relation_dim=%d) do not match model "
+        "(dim=%d relation_dim=%d)",
+        header.dim, header.relation_dim, model->options().dim,
+        model->options().relation_dim));
   }
   return RestoreParameters(model, in, header);
 }

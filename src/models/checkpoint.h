@@ -10,16 +10,25 @@
 namespace kgeval {
 
 /// Writes a binary checkpoint of `model`'s parameters (not optimizer state)
-/// to `path`. Format: magic, version, model type, shape metadata, then the
-/// named parameter matrices in CollectParameters order.
+/// to `path`. Format: magic, version, a fixed field-by-field header (model
+/// type, shapes, seed, parameter count — serialized explicitly, so the same
+/// model always produces byte-identical files regardless of ABI), then the
+/// named parameter matrices in CollectParameters order. The stream is
+/// flushed and closed before returning, so a full disk surfaces as IoError
+/// here rather than as a silently truncated file.
 Status SaveModel(KgeModel* model, const std::string& path);
 
 /// Reconstructs a model from a checkpoint: the stored type/shapes drive
 /// CreateModel, then the parameters are restored. Fails with IoError on
-/// unreadable files and InvalidArgument on format/shape mismatches.
+/// unreadable/truncated files and InvalidArgument on format/shape
+/// mismatches; every header field is validated before any allocation, so a
+/// corrupt file yields a Status, never a crash.
 Result<std::unique_ptr<KgeModel>> LoadModel(const std::string& path);
 
-/// Restores a checkpoint into an existing model of matching type/shape.
+/// Restores a checkpoint into an existing model of matching type and shape
+/// (entities, relations, and both embedding dimensions are all checked up
+/// front, so mismatches are diagnosed against the header, not against
+/// whichever parameter matrix happens to differ first).
 Status LoadModelInto(KgeModel* model, const std::string& path);
 
 }  // namespace kgeval

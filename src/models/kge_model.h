@@ -23,6 +23,10 @@ enum class ModelType {
   kConvE,
 };
 
+/// The enum's last value, for range checks on serialized model types
+/// (checkpoint headers). Keep in sync when appending a model.
+constexpr ModelType kLastModelType = ModelType::kConvE;
+
 const char* ModelTypeName(ModelType type);
 Result<ModelType> ParseModelType(const std::string& name);
 

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <mutex>
+#include <system_error>
 #include <vector>
 
 #include "la/vector_ops.h"
+#include "models/checkpoint.h"
 #include "sched/task_group.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace kgeval {
 namespace {
@@ -117,12 +121,37 @@ double Trainer::TrainEpoch(KgeModel* model, int32_t epoch) {
   return total_loss / static_cast<double>(n);
 }
 
+std::string CheckpointPath(const std::string& checkpoint_dir, int32_t epoch) {
+  return StrFormat("%s/epoch_%05d.ckpt", checkpoint_dir.c_str(), epoch);
+}
+
 Status Trainer::Train(KgeModel* model, const EpochCallback& callback) {
   if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (!options_.checkpoint_dir.empty()) {
+    if (options_.checkpoint_every <= 0) {
+      return Status::InvalidArgument("checkpoint_every must be positive");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError(StrFormat("cannot create checkpoint dir %s: %s",
+                                       options_.checkpoint_dir.c_str(),
+                                       ec.message().c_str()));
+    }
+  }
   for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
     const double loss = TrainEpoch(model, epoch);
     KGEVAL_LOG(Debug) << model->name() << " epoch " << epoch
                       << " loss=" << loss;
+    // The final epoch is always snapshotted regardless of cadence: it is
+    // the model training actually produced, and post-hoc selection over
+    // the checkpoint directory must be able to see it.
+    if (!options_.checkpoint_dir.empty() &&
+        (epoch % options_.checkpoint_every == 0 ||
+         epoch == options_.epochs - 1)) {
+      KGEVAL_RETURN_NOT_OK(SaveModel(
+          model, CheckpointPath(options_.checkpoint_dir, epoch)));
+    }
     if (callback) callback(epoch, *model);
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 #define KGEVAL_MODELS_TRAINER_H_
 
 #include <functional>
+#include <string>
 
 #include "graph/dataset.h"
 #include "models/kge_model.h"
@@ -32,7 +33,20 @@ struct TrainerOptions {
   /// negative sampling Section 7 names as future work (see
   /// MakeGuidedNegativeSampler in core/guided_negatives.h). Null = uniform.
   NegativeSamplerFn negative_sampler;
+
+  /// When non-empty, Train() snapshots the model to
+  /// CheckpointPath(checkpoint_dir, epoch) after every checkpoint_every-th
+  /// epoch and always after the final epoch (the directory is created if
+  /// missing) — the producer side of EvalSession::EstimateCheckpoints'
+  /// from-disk monitoring loop. A failed save aborts training with its
+  /// Status.
+  std::string checkpoint_dir;
+  int32_t checkpoint_every = 1;
 };
+
+/// The snapshot path Train() writes for `epoch`: zero-padded so a
+/// lexicographic listing of the directory is the epoch order.
+std::string CheckpointPath(const std::string& checkpoint_dir, int32_t epoch);
 
 /// Drives epochs of stochastic training over a dataset's train split.
 class Trainer {

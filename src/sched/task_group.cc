@@ -1,9 +1,12 @@
 #include "sched/task_group.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 namespace kgeval {
 
@@ -91,6 +94,29 @@ void ParallelFor(size_t begin, size_t end,
     group.Submit([&fn, lo, hi] { fn(lo, hi); });
   }
   group.Wait();
+}
+
+void RunJobsConcurrently(size_t n, const std::function<void(size_t)>& job) {
+  if (n == 0) return;
+  const size_t width = std::min(
+      n, std::max<size_t>(1, GlobalThreadPool()->num_threads()));
+  std::atomic<size_t> next{0};
+  const auto run_jobs = [&next, n, &job] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      job(i);
+    }
+  };
+  if (width == 1) {
+    run_jobs();
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(width - 1);
+  for (size_t t = 1; t < width; ++t) {
+    threads.emplace_back(run_jobs);
+  }
+  run_jobs();
+  for (std::thread& thread : threads) thread.join();
 }
 
 }  // namespace kgeval

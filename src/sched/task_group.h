@@ -72,6 +72,19 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_chunk = 256);
 
+/// Runs job(i) for every i in [0, n) concurrently on caller-side *job*
+/// threads (one per in-flight request), not pool workers — each job fans
+/// its chunks out to the shared worker pool through its own TaskGroups and
+/// helps drain them while it waits, so in-flight jobs interleave on the
+/// workers instead of serializing behind each other. In-flight jobs are
+/// capped at the worker count: job threads compute (help-first waits), so a
+/// 100-checkpoint sweep on 8 workers runs 8 jobs at a time instead of
+/// oversubscribing the machine with 100 compute threads (and 100 jobs'
+/// working state alive at once — the resident-model bound the checkpoint
+/// sweep relies on). Jobs are claimed from a shared counter, so the cap
+/// changes scheduling only — never results. Blocks until every job ran.
+void RunJobsConcurrently(size_t n, const std::function<void(size_t)>& job);
+
 }  // namespace kgeval
 
 #endif  // KGEVAL_SCHED_TASK_GROUP_H_

@@ -1,13 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/eval_session.h"
 #include "core/sampled_evaluator.h"
+#include "models/checkpoint.h"
 #include "models/kge_model.h"
 #include "synth/config.h"
 #include "synth/generator.h"
+#include "tests/temp_dir.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace kgeval {
 namespace {
@@ -206,6 +215,235 @@ TEST_F(EvalSessionTest, AdoptPinsTheNextFrameworkDraw) {
       EvalSession::Adopt(std::move(framework), filter_, Split::kTest);
   EXPECT_EQ(session->pools().pools, expected.pools);
   EXPECT_EQ(session->split(), Split::kTest);
+}
+
+/// Saves `count` distinctly-seeded models as checkpoint files and returns
+/// their paths — a stand-in for a training run's epoch snapshots.
+std::vector<std::string> SaveCheckpoints(const Dataset& dataset,
+                                         const std::string& dir,
+                                         size_t count) {
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < count; ++i) {
+    auto model = SeededModel(dataset, 1000 + 17 * i);
+    const std::string path = dir + "/ckpt_" + std::to_string(i) + ".ckpt";
+    KGEVAL_CHECK(SaveModel(model.get(), path).ok());
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+TEST_F(EvalSessionTest, EstimateCheckpointsMatchesSequentialLoadEstimate) {
+  // The acceptance bar of the sweep: N checkpoint files swept concurrently
+  // on the pinned draw must be rank-for-rank identical to N sequential
+  // LoadModel + Estimate calls on that draw.
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  TempDir dir;
+  const std::vector<std::string> paths =
+      SaveCheckpoints(*dataset_, dir.path(), 6);
+
+  const std::vector<CheckpointEstimate> sweep =
+      session->EstimateCheckpoints(paths);
+  ASSERT_EQ(sweep.size(), paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    ASSERT_TRUE(sweep[i].status.ok()) << sweep[i].status.ToString();
+    auto loaded = LoadModel(paths[i]);
+    ASSERT_TRUE(loaded.ok());
+    const SampledEvalResult sequential =
+        session->Estimate(*loaded.ValueOrDie());
+    EXPECT_EQ(sweep[i].result.ranks, sequential.ranks) << "checkpoint " << i;
+    EXPECT_EQ(sweep[i].result.metrics.mrr, sequential.metrics.mrr)
+        << "checkpoint " << i;
+    EXPECT_EQ(sweep[i].result.ci.mrr, sequential.ci.mrr) << "checkpoint " << i;
+    EXPECT_EQ(sweep[i].result.scored_candidates,
+              sequential.scored_candidates)
+        << "checkpoint " << i;
+  }
+  // Distinct checkpoints must rank differently (no cross-job smearing).
+  EXPECT_NE(sweep[0].result.ranks, sweep[1].result.ranks);
+}
+
+TEST_F(EvalSessionTest, EstimateCheckpointsBoundsResidentModels) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  TempDir dir;
+  // Strictly more checkpoints than workers, so the bound (and not sweep
+  // size) is what caps residency — sized off the live pool because the
+  // default width is the machine's core count.
+  const size_t count = GlobalThreadPool()->num_threads() + 4;
+  const std::vector<std::string> paths =
+      SaveCheckpoints(*dataset_, dir.path(), count);
+  CheckpointSweepStats stats;
+  const std::vector<CheckpointEstimate> sweep =
+      session->EstimateCheckpoints(paths, /*max_triples=*/100, nullptr,
+                                   &stats);
+  for (const CheckpointEstimate& outcome : sweep) {
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  EXPECT_GE(stats.max_resident_models, 1u);
+  EXPECT_LE(stats.max_resident_models, GlobalThreadPool()->num_threads());
+  EXPECT_LT(stats.max_resident_models, paths.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST_F(EvalSessionTest, EstimateCheckpointsSurfacesLoadFailuresAsStatus) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  TempDir dir;
+  std::vector<std::string> paths = SaveCheckpoints(*dataset_, dir.path(), 2);
+
+  const std::string garbage = dir.path() + "/garbage.ckpt";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  const std::string truncated = dir.path() + "/truncated.ckpt";
+  {
+    std::ifstream in(paths[0], std::ios::binary);
+    std::string bytes(64, '\0');
+    in.read(bytes.data(), 64);
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(), 64);
+  }
+  // Interleave good and bad paths: failures must not disturb neighbors.
+  paths.insert(paths.begin() + 1, garbage);
+  paths.push_back(dir.path() + "/missing.ckpt");
+  paths.push_back(truncated);
+
+  CheckpointSweepStats stats;
+  const std::vector<CheckpointEstimate> sweep =
+      session->EstimateCheckpoints(paths, /*max_triples=*/50, nullptr,
+                                   &stats);
+  ASSERT_EQ(sweep.size(), 5u);
+  EXPECT_TRUE(sweep[0].status.ok());
+  EXPECT_EQ(sweep[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(sweep[2].status.ok());
+  EXPECT_EQ(sweep[3].status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(sweep[4].status.ok());
+  EXPECT_EQ(stats.failed, 3u);
+
+  // The surviving estimates still match sequential evaluation.
+  auto loaded = LoadModel(paths[2]);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(sweep[2].result.ranks,
+            session->Estimate(*loaded.ValueOrDie(), 50).ranks);
+}
+
+TEST_F(EvalSessionTest, EstimateCheckpointsStreamsProgress) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  TempDir dir;
+  const std::vector<std::string> paths =
+      SaveCheckpoints(*dataset_, dir.path(), 5);
+  std::vector<std::pair<size_t, double>> streamed;
+  const std::vector<CheckpointEstimate> sweep = session->EstimateCheckpoints(
+      paths, /*max_triples=*/100,
+      [&](size_t index, const CheckpointEstimate& outcome) {
+        // The callback contract serializes invocations, so plain vector
+        // writes are safe here.
+        streamed.emplace_back(index, outcome.result.metrics.mrr);
+      });
+  ASSERT_EQ(streamed.size(), paths.size());
+  std::vector<bool> seen(paths.size(), false);
+  for (const auto& [index, mrr] : streamed) {
+    ASSERT_LT(index, sweep.size());
+    EXPECT_FALSE(seen[index]) << "index " << index << " streamed twice";
+    seen[index] = true;
+    EXPECT_EQ(mrr, sweep[index].result.metrics.mrr);
+  }
+}
+
+TEST_F(EvalSessionTest, EstimateAdaptiveCheckpointsMatchesSequential) {
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  TempDir dir;
+  const std::vector<std::string> paths =
+      SaveCheckpoints(*dataset_, dir.path(), 3);
+  AdaptiveEvalOptions adaptive;
+  adaptive.target_half_width = 0.05;
+  adaptive.min_queries = 256;
+  adaptive.batch_queries = 256;
+  const std::vector<CheckpointAdaptiveEstimate> sweep =
+      session->EstimateAdaptiveCheckpoints(paths, adaptive);
+  ASSERT_EQ(sweep.size(), paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    ASSERT_TRUE(sweep[i].status.ok()) << sweep[i].status.ToString();
+    auto loaded = LoadModel(paths[i]);
+    ASSERT_TRUE(loaded.ok());
+    const AdaptiveEvalResult sequential =
+        session->EstimateAdaptive(*loaded.ValueOrDie(), adaptive);
+    EXPECT_EQ(sweep[i].result.ranks, sequential.ranks) << "checkpoint " << i;
+    EXPECT_EQ(sweep[i].result.evaluated_queries,
+              sequential.evaluated_queries)
+        << "checkpoint " << i;
+    EXPECT_EQ(sweep[i].result.metrics.mrr, sequential.metrics.mrr)
+        << "checkpoint " << i;
+  }
+}
+
+TEST_F(EvalSessionTest, FrameworkCheckpointOnPoolsMatchesSessionEstimate) {
+  // The one-shot framework fusions must agree with loading and estimating
+  // as separate steps on the same pinned pools.
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  TempDir dir;
+  const std::vector<std::string> paths =
+      SaveCheckpoints(*dataset_, dir.path(), 1);
+  auto loaded = LoadModel(paths[0]);
+  ASSERT_TRUE(loaded.ok());
+
+  auto fused = session->framework().EstimateCheckpointOnPools(
+      paths[0], *filter_, Split::kTest, session->pools());
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  const SampledEvalResult direct = session->Estimate(*loaded.ValueOrDie());
+  EXPECT_EQ(fused.ValueOrDie().ranks, direct.ranks);
+  EXPECT_EQ(fused.ValueOrDie().metrics.mrr, direct.metrics.mrr);
+
+  AdaptiveEvalOptions adaptive;
+  adaptive.target_half_width = 0.05;
+  adaptive.min_queries = 256;
+  adaptive.batch_queries = 256;
+  auto fused_adaptive =
+      session->framework().EstimateAdaptiveCheckpointOnPools(
+          paths[0], *filter_, Split::kTest, session->pools(), adaptive);
+  ASSERT_TRUE(fused_adaptive.ok()) << fused_adaptive.status().ToString();
+  const AdaptiveEvalResult direct_adaptive =
+      session->EstimateAdaptive(*loaded.ValueOrDie(), adaptive);
+  EXPECT_EQ(fused_adaptive.ValueOrDie().ranks, direct_adaptive.ranks);
+
+  // Both fusions surface load failures as the Status.
+  EXPECT_EQ(session->framework()
+                .EstimateCheckpointOnPools(dir.path() + "/missing.ckpt",
+                                           *filter_, Split::kTest,
+                                           session->pools())
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(EvalSessionTest, EstimateCheckpointsRejectsDatasetMismatch) {
+  // A checkpoint for a different graph shape must fail cleanly: its entity
+  // ids would index past this dataset's pools.
+  auto session =
+      EvalSession::Create(dataset_, filter_, SessionOptions(), Split::kTest)
+          .ValueOrDie();
+  ModelOptions options;
+  options.dim = 16;
+  auto alien = CreateModel(ModelType::kComplEx, 50, 4, options).ValueOrDie();
+  TempDir dir;
+  const std::string path = dir.path() + "/alien.ckpt";
+  ASSERT_TRUE(SaveModel(alien.get(), path).ok());
+  const std::vector<CheckpointEstimate> sweep =
+      session->EstimateCheckpoints({path});
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0].status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(EvalSessionTest, CreateRejectsNullInputs) {

@@ -1,34 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "graph/io.h"
 #include "models/checkpoint.h"
 #include "models/trainer.h"
 #include "synth/config.h"
 #include "synth/generator.h"
+#include "tests/temp_dir.h"
 
 namespace kgeval {
 namespace {
 
 namespace fs = std::filesystem;
-
-class TempDir {
- public:
-  TempDir() {
-    path_ = fs::temp_directory_path() /
-            ("kgeval_test_" + std::to_string(counter_++));
-    fs::create_directories(path_);
-  }
-  ~TempDir() { fs::remove_all(path_); }
-  std::string path() const { return path_.string(); }
-
- private:
-  static inline int counter_ = 0;
-  fs::path path_;
-};
 
 void WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);
@@ -174,6 +163,216 @@ TEST(CheckpointErrorsTest, GarbageFileRejected) {
   const std::string path = dir.path() + "/garbage.ckpt";
   WriteFile(path, "this is not a checkpoint");
   EXPECT_FALSE(LoadModel(path).ok());
+}
+
+// --- Checkpoint robustness suite -------------------------------------------------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::unique_ptr<KgeModel> SmallPerturbedModel(ModelType type) {
+  ModelOptions options;
+  options.dim = 16;  // ConvE's floor: >= 12 and divisible by 4.
+  options.seed = 123;
+  auto model = CreateModel(type, 12, 4, options).ValueOrDie();
+  for (int i = 0; i < 24; ++i) {
+    model->UpdateTriple(i % 12, i % 4, (i * 5 + 1) % 12,
+                        QueryDirection::kTail, -0.25f);
+  }
+  return model;
+}
+
+TEST_P(CheckpointTest, SaveIsByteDeterministic) {
+  // The v1 header used to be written as one raw struct, padding bytes and
+  // all — two saves of the same model could differ in uninitialized bytes.
+  // The explicit field serializer makes saving a pure function of the
+  // parameters.
+  auto model = SmallPerturbedModel(GetParam());
+  TempDir dir;
+  const std::string a = dir.path() + "/a.ckpt";
+  const std::string b = dir.path() + "/b.ckpt";
+  ASSERT_TRUE(SaveModel(model.get(), a).ok());
+  ASSERT_TRUE(SaveModel(model.get(), b).ok());
+  const std::string bytes_a = ReadFileBytes(a);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, ReadFileBytes(b));
+}
+
+TEST_P(CheckpointTest, RoundTripIsBitExact) {
+  // Stronger than score equality: every stored float must come back with
+  // the identical bit pattern.
+  auto model = SmallPerturbedModel(GetParam());
+  TempDir dir;
+  const std::string path = dir.path() + "/model.ckpt";
+  ASSERT_TRUE(SaveModel(model.get(), path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  std::vector<KgeModel::NamedParameter> original, restored;
+  model->CollectParameters(&original);
+  loaded.ValueOrDie()->CollectParameters(&restored);
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t p = 0; p < original.size(); ++p) {
+    EXPECT_STREQ(original[p].name, restored[p].name);
+    ASSERT_EQ(original[p].matrix->size(), restored[p].matrix->size());
+    EXPECT_EQ(std::memcmp(original[p].matrix->data(),
+                          restored[p].matrix->data(),
+                          original[p].matrix->size() * sizeof(float)),
+              0)
+        << "parameter '" << original[p].name << "' not bit-identical";
+  }
+}
+
+TEST_P(CheckpointTest, TruncationAtEveryByteYieldsStatusNotCrash) {
+  // Re-load the checkpoint truncated at every possible length (which
+  // covers every field boundary): each must fail with a clean Status.
+  auto model = SmallPerturbedModel(GetParam());
+  TempDir dir;
+  const std::string path = dir.path() + "/full.ckpt";
+  ASSERT_TRUE(SaveModel(model.get(), path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 48u);  // Magic + version + header at minimum.
+
+  const std::string truncated_path = dir.path() + "/truncated.ckpt";
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    {
+      std::ofstream out(truncated_path,
+                        std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(len));
+    }
+    auto result = LoadModel(truncated_path);
+    EXPECT_FALSE(result.ok()) << "truncation at byte " << len
+                              << " was accepted";
+  }
+}
+
+TEST(CheckpointErrorsTest, GarbageMagicAndVersionRejected) {
+  auto model = SmallPerturbedModel(ModelType::kTransE);
+  TempDir dir;
+  const std::string path = dir.path() + "/bad.ckpt";
+  ASSERT_TRUE(SaveModel(model.get(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  WriteFile(path, bad_magic);
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kInvalidArgument);
+
+  std::string bad_version = bytes;
+  bad_version[4] = 99;  // Version int32 follows the 4-byte magic.
+  WriteFile(path, bad_version);
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointErrorsTest, CorruptHeaderCountsRejected) {
+  // A corrupt header must be rejected up front: negative counts used to
+  // flow straight into CreateModel. On-disk field offsets after the 8-byte
+  // magic+version preamble: model_type 0, num_entities 4, num_relations 8,
+  // dim 12, relation_dim 16, pad 20, seed 24, num_params 32.
+  auto model = SmallPerturbedModel(ModelType::kDistMult);
+  TempDir dir;
+  const std::string good_path = dir.path() + "/good.ckpt";
+  ASSERT_TRUE(SaveModel(model.get(), good_path).ok());
+  const std::string bytes = ReadFileBytes(good_path);
+
+  const auto corrupt_int32_at = [&](size_t offset, int32_t value) {
+    std::string corrupt = bytes;
+    std::memcpy(&corrupt[8 + offset], &value, sizeof(value));
+    const std::string path = dir.path() + "/corrupt.ckpt";
+    WriteFile(path, corrupt);
+    return LoadModel(path).status();
+  };
+  EXPECT_EQ(corrupt_int32_at(0, -1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(0, 999).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(4, -12).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(4, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(8, -4).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(12, -8).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(16, -8).code(), StatusCode::kInvalidArgument);
+  // Absurdly *large* positive fields are corruption too: without the caps
+  // a single bit-flip would reach CreateModel and die in a huge or
+  // overflowing allocation instead of returning a Status.
+  EXPECT_EQ(corrupt_int32_at(4, INT32_MAX).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(8, INT32_MAX).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(12, INT32_MAX).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(16, INT32_MAX).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(4, 1 << 29).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(32, -2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corrupt_int32_at(32, 1 << 20).code(),
+            StatusCode::kInvalidArgument);
+
+  // The two padding slots (offsets 20 and 36) are ignored on read: files
+  // written before the explicit serializer carry uninitialized bytes there
+  // and must stay loadable (the v1 byte-compat guarantee).
+  EXPECT_TRUE(corrupt_int32_at(20, static_cast<int32_t>(0xDEADBEEF)).ok());
+  EXPECT_TRUE(corrupt_int32_at(36, -1).ok());
+}
+
+TEST(CheckpointErrorsTest, LoadIntoRejectsDimensionMismatchUpFront) {
+  // Same type and entity/relation counts but a different embedding width:
+  // the header check must name the dimension mismatch instead of letting a
+  // per-parameter shape error (or worse, a silent pass) surface later.
+  ModelOptions narrow, wide;
+  narrow.dim = 8;
+  wide.dim = 16;
+  auto a = CreateModel(ModelType::kTransE, 30, 6, narrow).ValueOrDie();
+  auto b = CreateModel(ModelType::kTransE, 30, 6, wide).ValueOrDie();
+  TempDir dir;
+  const std::string path = dir.path() + "/narrow.ckpt";
+  ASSERT_TRUE(SaveModel(a.get(), path).ok());
+  const Status status = LoadModelInto(b.get(), path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("dim"), std::string::npos);
+}
+
+TEST(CheckpointTrainerTest, TrainWritesEpochSnapshots) {
+  SynthConfig config;
+  config.num_entities = 120;
+  config.num_relations = 5;
+  config.num_types = 4;
+  config.num_train = 1200;
+  config.num_valid = 40;
+  config.num_test = 40;
+  const Dataset dataset = GenerateDataset(config).ValueOrDie().dataset;
+  ModelOptions options;
+  options.dim = 8;
+  auto model = CreateModel(ModelType::kDistMult, 120, 5, options)
+                   .ValueOrDie();
+  TempDir dir;
+  TrainerOptions trainer_options;
+  trainer_options.epochs = 4;
+  trainer_options.num_threads = 1;
+  trainer_options.checkpoint_dir = dir.path() + "/snapshots";
+  trainer_options.checkpoint_every = 2;
+  Trainer trainer(&dataset, trainer_options);
+  ASSERT_TRUE(trainer.Train(model.get()).ok());
+
+  // Epochs 0 and 2 on the cadence, epoch 3 because it is final, 1 not.
+  EXPECT_TRUE(fs::exists(CheckpointPath(trainer_options.checkpoint_dir, 0)));
+  EXPECT_FALSE(fs::exists(CheckpointPath(trainer_options.checkpoint_dir, 1)));
+  EXPECT_TRUE(fs::exists(CheckpointPath(trainer_options.checkpoint_dir, 2)));
+  EXPECT_TRUE(fs::exists(CheckpointPath(trainer_options.checkpoint_dir, 3)));
+
+  // The final snapshot is loadable and bit-identical to the trained model.
+  auto loaded =
+      LoadModel(CheckpointPath(trainer_options.checkpoint_dir, 3));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie()->type(), ModelType::kDistMult);
+  EXPECT_EQ(loaded.ValueOrDie()->ScoreTriple({1, 2, 3}),
+            model->ScoreTriple({1, 2, 3}));
+
+  TrainerOptions bad = trainer_options;
+  bad.checkpoint_every = 0;
+  EXPECT_EQ(Trainer(&dataset, bad).Train(model.get()).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(CheckpointErrorsTest, MissingFileIsIoError) {

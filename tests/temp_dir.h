@@ -1,0 +1,36 @@
+#ifndef KGEVAL_TESTS_TEMP_DIR_H_
+#define KGEVAL_TESTS_TEMP_DIR_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace kgeval {
+
+/// RAII temp directory for tests: unique per process (pid — parallel ctest
+/// shards must not collide) and per instance (counter), removed with its
+/// contents on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "kgeval_test") {
+    path_ = std::filesystem::temp_directory_path() /
+            (prefix + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string path() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_TESTS_TEMP_DIR_H_
