@@ -1,0 +1,445 @@
+// Service load bench: N concurrent clients drive kgeval-server over real
+// TCP sockets with pipelined requests (a window of commands in flight per
+// connection) and measure throughput plus tail latency per verb class —
+// the cheap control-plane verbs (PING/STATS) and the heavy evaluation verb
+// (EVAL <ckpt>) share one event loop, and the interesting number is the
+// control-plane p99 while evaluations saturate the worker pool.
+//
+// Two gates make this a correctness harness, not just a stopwatch:
+//   - zero protocol errors: any ERR reply across the whole run fails the
+//     bench (CI greps the summary and checks the exit code);
+//   - byte parity: every EVAL reply's metric fields must byte-match the
+//     same checkpoint evaluated directly through
+//     EstimateCheckpointOnPools on a locally reconstructed session (same
+//     preset, same ServiceFrameworkOptions, same first pool draw). The
+//     protocol's %.17g formatting makes this an exact string comparison.
+//     Prints PARITY MISMATCH otherwise.
+//
+// Extra flags (stripped before the shared bench flags are parsed):
+//   --clients=N        concurrent connections (default 8; the ISSUE floor)
+//   --requests=N       requests per client (default 32; --fast halves it)
+//   --pipeline=N       max requests in flight per connection (default 8)
+//   --connect=HOST:PORT  drive an external kgeval-server instead of the
+//                        in-process one (CI smoke starts the real binary);
+//                        implies scaled presets — the parity gate assumes
+//                        the server's default LOAD scale.
+// --json writes BENCH_service_load.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/eval_session.h"
+#include "models/trainer.h"
+#include "service/eval_server.h"
+#include "service/eval_service.h"
+#include "service/line_client.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace kgeval;
+
+struct LoadFlags {
+  int clients = 8;
+  int requests = 32;
+  int pipeline = 8;
+  std::string connect_host;
+  uint16_t connect_port = 0;
+  bool external = false;
+};
+
+/// Pulls this bench's own flags out of argv (bench::ParseArgs exits on
+/// anything it does not recognize) and returns the rest for it.
+LoadFlags ExtractLoadFlags(int* argc, char** argv) {
+  LoadFlags flags;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--clients=", 0) == 0) {
+      flags.clients = std::atoi(arg.c_str() + std::strlen("--clients="));
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      flags.requests = std::atoi(arg.c_str() + std::strlen("--requests="));
+    } else if (arg.rfind("--pipeline=", 0) == 0) {
+      flags.pipeline = std::atoi(arg.c_str() + std::strlen("--pipeline="));
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      const std::string target = arg.substr(std::strlen("--connect="));
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants HOST:PORT, got '%s'\n",
+                     target.c_str());
+        std::exit(2);
+      }
+      flags.connect_host = target.substr(0, colon);
+      flags.connect_port =
+          static_cast<uint16_t>(std::atoi(target.c_str() + colon + 1));
+      flags.external = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (flags.clients < 1 || flags.requests < 1 || flags.pipeline < 1) {
+    std::fprintf(stderr,
+                 "--clients/--requests/--pipeline must be positive\n");
+    std::exit(2);
+  }
+  return flags;
+}
+
+std::string Fmt17(double v) { return StrFormat("%.17g", v); }
+
+/// "OK k1=v1 k2=v2 ..." -> {k1: v1, ...}.
+std::map<std::string, std::string> ParseKeyValues(const std::string& line) {
+  std::map<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(pos, end - pos);
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      out[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+/// One client's request schedule plus what came back.
+struct ClientRun {
+  std::vector<double> ping_latencies_ms;
+  std::vector<double> eval_latencies_ms;
+  std::vector<std::string> eval_replies;  // terminal lines, in send order
+  int errors = 0;
+  std::string failure;  // transport-level failure, "" when clean
+};
+
+/// Drives one connection: `requests` commands with up to `pipeline` in
+/// flight, strict in-order replies (the protocol guarantees it).
+ClientRun RunClient(const std::string& host, uint16_t port,
+                    const LoadFlags& flags,
+                    const std::vector<std::string>& ckpts) {
+  ClientRun run;
+  auto client_or = LineClient::Connect(host, port, /*recv_timeout_s=*/120.0);
+  if (!client_or.ok()) {
+    run.failure = client_or.status().ToString();
+    return run;
+  }
+  LineClient client = std::move(client_or).ValueOrDie();
+  auto banner = client.ReadLine();
+  if (!banner.ok() || banner.ValueOrDie().rfind("KGEVAL ", 0) != 0) {
+    run.failure = banner.ok() ? "bad banner: " + banner.ValueOrDie()
+                              : banner.status().ToString();
+    return run;
+  }
+
+  struct Pending {
+    bool is_eval = false;
+    double sent_s = 0.0;
+  };
+  std::vector<Pending> pending;
+  WallTimer clock;
+  int sent = 0, completed = 0;
+  while (completed < flags.requests) {
+    while (sent < flags.requests &&
+           pending.size() < static_cast<size_t>(flags.pipeline)) {
+      // 1 EVAL per 4 requests keeps the worker pool busy while the PINGs
+      // and STATS measure control-plane responsiveness under that load.
+      const int slot = sent % 4;
+      std::string line;
+      Pending p;
+      if (slot == 0) {
+        line = "EVAL " + ckpts[static_cast<size_t>(sent / 4) % ckpts.size()];
+        p.is_eval = true;
+      } else if (slot == 2) {
+        line = "STATS";
+      } else {
+        line = "PING";
+      }
+      p.sent_s = clock.Seconds();
+      Status st = client.SendLine(line);
+      if (!st.ok()) {
+        run.failure = st.ToString();
+        return run;
+      }
+      pending.push_back(p);
+      ++sent;
+    }
+    auto reply = client.ReadReply();
+    if (!reply.ok()) {
+      run.failure = reply.status().ToString();
+      return run;
+    }
+    const double now_s = clock.Seconds();
+    const Pending p = pending.front();
+    pending.erase(pending.begin());
+    const std::string& terminal = reply.ValueOrDie().back();
+    if (terminal.rfind("ERR", 0) == 0) ++run.errors;
+    const double latency_ms = (now_s - p.sent_s) * 1e3;
+    if (p.is_eval) {
+      run.eval_latencies_ms.push_back(latency_ms);
+      run.eval_replies.push_back(terminal);
+    } else {
+      run.ping_latencies_ms.push_back(latency_ms);
+    }
+    ++completed;
+  }
+  client.SendLine("QUIT");
+  return run;
+}
+
+struct BenchResult {
+  int clients = 0;
+  int requests_per_client = 0;
+  int pipeline = 0;
+  double wall_s = 0.0;
+  double req_per_s = 0.0;
+  double ping_p50_ms = 0.0, ping_p99_ms = 0.0;
+  double eval_p50_ms = 0.0, eval_p99_ms = 0.0;
+  int64_t evals = 0;
+  int errors = 0;
+  bool parity = false;
+};
+
+void WriteJson(const BenchResult& r) {
+  const char* path = "BENCH_service_load.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"service_load\": {\"clients\": %d, \"requests_per_client\": %d, "
+      "\"pipeline\": %d, \"wall_s\": %.6f, \"req_per_s\": %.2f, "
+      "\"ping_p50_ms\": %.3f, \"ping_p99_ms\": %.3f, \"eval_p50_ms\": %.3f, "
+      "\"eval_p99_ms\": %.3f, \"evals\": %lld, \"protocol_errors\": %d, "
+      "\"parity\": %s}\n}\n",
+      r.clients, r.requests_per_client, r.pipeline, r.wall_s, r.req_per_s,
+      r.ping_p50_ms, r.ping_p99_ms, r.eval_p50_ms, r.eval_p99_ms,
+      static_cast<long long>(r.evals), r.errors, r.parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadFlags flags = ExtractLoadFlags(&argc, argv);
+  const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  if (flags.external && args.paper_scale) {
+    std::fprintf(stderr,
+                 "--connect assumes the server's default (scaled) LOAD; "
+                 "--paper-scale would break the parity gate\n");
+    return 2;
+  }
+  std::string preset = "codex-s";
+  if (!args.only_dataset.empty()) preset = args.only_dataset;
+  if (args.fast) flags.requests = std::max(4, flags.requests / 2);
+  const int32_t epochs = args.epochs > 0 ? args.epochs : (args.fast ? 3 : 6);
+
+  // Producer side: a short training run's snapshots are the EVAL targets.
+  // The server process reads these paths, so they must be on a filesystem
+  // it shares — CI runs both on one runner.
+  const SynthOutput synth = bench::LoadPreset(preset, args);
+  const Dataset& dataset = synth.dataset;
+  const std::string ckpt_dir =
+      bench::MakeScratchDir("kgeval_bench_service_load");
+  {
+    ModelOptions model_options;
+    model_options.dim = 32;
+    model_options.adam.learning_rate = 3e-3f;
+    model_options.seed = 11;
+    auto model = CreateModel(ModelType::kComplEx, dataset.num_entities(),
+                             dataset.num_relations(), model_options)
+                     .ValueOrDie();
+    TrainerOptions trainer_options;
+    trainer_options.epochs = epochs;
+    trainer_options.negatives_per_positive = 8;
+    trainer_options.checkpoint_dir = ckpt_dir;
+    Trainer trainer(&dataset, trainer_options);
+    KGEVAL_CHECK(trainer.Train(model.get()).ok());
+  }
+  std::vector<std::string> ckpts;
+  for (int32_t epoch = 0; epoch < epochs; ++epoch) {
+    ckpts.push_back(CheckpointPath(ckpt_dir, epoch, epochs));
+  }
+
+  // Server side: in-process by default, external via --connect.
+  std::unique_ptr<EvalServer> server;
+  std::string host = flags.connect_host;
+  uint16_t port = flags.connect_port;
+  if (!flags.external) {
+    EvalServer::Options server_options;
+    server_options.service.scale =
+        args.paper_scale ? PresetScale::kPaper : PresetScale::kScaled;
+    auto started = EvalServer::Start(server_options);
+    KGEVAL_CHECK(started.ok());
+    server = std::move(started).ValueOrDie();
+    host = server->host();
+    port = server->port();
+  }
+
+  bench::PrintHeader(StrFormat(
+      "Service load: %d pipelined clients x %d requests (window %d) against "
+      "%s:%u — %s, %d checkpoints, %zu worker threads",
+      flags.clients, flags.requests, flags.pipeline, host.c_str(), port,
+      preset.c_str(), epochs, GlobalThreadPool()->num_threads()));
+
+  // One control connection LOADs the dataset every client will EVAL on.
+  {
+    auto control = LineClient::Connect(host, port);
+    KGEVAL_CHECK(control.ok());
+    LineClient& client = control.ValueOrDie();
+    KGEVAL_CHECK(client.ReadLine().ok());  // banner
+    KGEVAL_CHECK(client.SendLine("LOAD " + preset + " valid").ok());
+    auto reply = client.ReadReply();
+    KGEVAL_CHECK(reply.ok());
+    const std::string& line = reply.ValueOrDie().back();
+    if (line.rfind("OK", 0) != 0) {
+      std::fprintf(stderr, "LOAD failed: %s\n", line.c_str());
+      std::filesystem::remove_all(ckpt_dir);
+      return 1;
+    }
+    std::printf("%s\n", line.c_str());
+    client.SendLine("QUIT");
+  }
+
+  // Load phase: all clients at once.
+  std::vector<ClientRun> runs(static_cast<size_t>(flags.clients));
+  WallTimer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      threads.emplace_back([&, i] {
+        runs[i] = RunClient(host, port, flags, ckpts);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = wall.Seconds();
+
+  BenchResult result;
+  result.clients = flags.clients;
+  result.requests_per_client = flags.requests;
+  result.pipeline = flags.pipeline;
+  result.wall_s = wall_s;
+  std::vector<double> ping_ms, eval_ms;
+  std::vector<std::string> served;  // every EVAL terminal line, all clients
+  bool transport_ok = true;
+  for (const ClientRun& run : runs) {
+    if (!run.failure.empty()) {
+      std::fprintf(stderr, "client failed: %s\n", run.failure.c_str());
+      transport_ok = false;
+    }
+    result.errors += run.errors;
+    ping_ms.insert(ping_ms.end(), run.ping_latencies_ms.begin(),
+                   run.ping_latencies_ms.end());
+    eval_ms.insert(eval_ms.end(), run.eval_latencies_ms.begin(),
+                   run.eval_latencies_ms.end());
+    served.insert(served.end(), run.eval_replies.begin(),
+                  run.eval_replies.end());
+  }
+  const int64_t total_requests =
+      static_cast<int64_t>(ping_ms.size() + eval_ms.size());
+  result.req_per_s =
+      wall_s > 0.0 ? static_cast<double>(total_requests) / wall_s : 0.0;
+  result.ping_p50_ms = Percentile(ping_ms, 0.50);
+  result.ping_p99_ms = Percentile(ping_ms, 0.99);
+  result.eval_p50_ms = Percentile(eval_ms, 0.50);
+  result.eval_p99_ms = Percentile(eval_ms, 0.99);
+  result.evals = static_cast<int64_t>(eval_ms.size());
+
+  // Parity gate: rebuild the exact session LOAD built (same preset, same
+  // ServiceFrameworkOptions, same seed => same first pool draw), evaluate
+  // each checkpoint directly, and demand the served metric fields are the
+  // same %.17g bytes. eval_s is wall time and is excluded by construction
+  // (only the listed fields are compared).
+  bool parity = transport_ok && result.errors == 0;
+  {
+    const FilterIndex filter(dataset);
+    auto session =
+        EvalSession::Create(&dataset, &filter,
+                            EvalService::ServiceFrameworkOptions(),
+                            Split::kValid)
+            .ValueOrDie();
+    std::map<std::string, std::string> expected;  // ckpt path -> "m|ci|..."
+    for (const std::string& path : ckpts) {
+      auto direct = session->framework().EstimateCheckpointOnPools(
+          path, filter, Split::kValid, session->pools());
+      KGEVAL_CHECK(direct.ok());
+      const SampledEvalResult& r = direct.ValueOrDie();
+      expected[path] = StrFormat(
+          "%s|%s|%s|%s|%s|%lld|%lld", Fmt17(r.metrics.mrr).c_str(),
+          Fmt17(r.ci.mrr).c_str(), Fmt17(r.metrics.hits1).c_str(),
+          Fmt17(r.metrics.hits3).c_str(), Fmt17(r.metrics.hits10).c_str(),
+          static_cast<long long>(r.metrics.num_queries),
+          static_cast<long long>(r.scored_candidates));
+    }
+    // Every client's i-th EVAL hit ckpts[i % size], so served replies can
+    // be checked per client in send order.
+    for (const ClientRun& run : runs) {
+      for (size_t i = 0; parity && i < run.eval_replies.size(); ++i) {
+        const std::string& line = run.eval_replies[i];
+        auto kv = ParseKeyValues(line);
+        const std::string got = kv["mrr"] + "|" + kv["ci"] + "|" +
+                                kv["hits1"] + "|" + kv["hits3"] + "|" +
+                                kv["hits10"] + "|" + kv["queries"] + "|" +
+                                kv["scored"];
+        const std::string& want = expected[ckpts[i % ckpts.size()]];
+        if (got != want) {
+          std::printf("PARITY MISMATCH\n  served: %s\n  direct: %s\n",
+                      got.c_str(), want.c_str());
+          parity = false;
+        }
+      }
+    }
+  }
+  result.parity = parity;
+
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"requests", std::to_string(total_requests)});
+  table.AddRow({"throughput (req/s)", bench::F(result.req_per_s, 1)});
+  table.AddRow({"PING/STATS p50 (ms)", bench::F(result.ping_p50_ms, 3)});
+  table.AddRow({"PING/STATS p99 (ms)", bench::F(result.ping_p99_ms, 3)});
+  table.AddRow({"EVAL p50 (ms)", bench::F(result.eval_p50_ms, 1)});
+  table.AddRow({"EVAL p99 (ms)", bench::F(result.eval_p99_ms, 1)});
+  table.AddRow({"protocol errors", std::to_string(result.errors)});
+  table.AddRow({"served-vs-direct parity",
+                parity ? "byte-identical" : "PARITY MISMATCH"});
+  std::printf("%s", table.ToString().c_str());
+
+  bench::PrintNote(StrFormat(
+      "%lld EVALs byte-checked against direct EstimateCheckpointOnPools on "
+      "a reconstructed session; control-plane p99 %.3fms while evaluations "
+      "held the worker pool",
+      static_cast<long long>(result.evals), result.ping_p99_ms));
+  if (args.json) WriteJson(result);
+
+  if (server != nullptr) server->Shutdown();
+  std::filesystem::remove_all(ckpt_dir);
+  return (parity && transport_ok && result.errors == 0) ? 0 : 1;
+}

@@ -121,8 +121,17 @@ double Trainer::TrainEpoch(KgeModel* model, int32_t epoch) {
   return total_loss / static_cast<double>(n);
 }
 
-std::string CheckpointPath(const std::string& checkpoint_dir, int32_t epoch) {
-  return StrFormat("%s/epoch_%05d.ckpt", checkpoint_dir.c_str(), epoch);
+std::string CheckpointPath(const std::string& checkpoint_dir, int32_t epoch,
+                           int32_t total_epochs) {
+  // Width follows the run's largest epoch index, floored at the historical
+  // 5 so existing sub-100000-epoch layouts keep their file names.
+  int32_t width = 5;
+  for (int64_t largest = static_cast<int64_t>(total_epochs) - 1;
+       largest >= 100000; largest /= 10) {
+    ++width;
+  }
+  return StrFormat("%s/epoch_%0*d.ckpt", checkpoint_dir.c_str(), width,
+                   epoch);
 }
 
 Status Trainer::Train(KgeModel* model, const EpochCallback& callback) {
@@ -149,8 +158,20 @@ Status Trainer::Train(KgeModel* model, const EpochCallback& callback) {
     if (!options_.checkpoint_dir.empty() &&
         (epoch % options_.checkpoint_every == 0 ||
          epoch == options_.epochs - 1)) {
-      KGEVAL_RETURN_NOT_OK(SaveModel(
-          model, CheckpointPath(options_.checkpoint_dir, epoch)));
+      // Written to a .tmp name and renamed into place: a WATCHer polling
+      // the directory must never observe a half-written .ckpt file
+      // (rename within one directory is atomic on POSIX filesystems).
+      const std::string path =
+          CheckpointPath(options_.checkpoint_dir, epoch, options_.epochs);
+      const std::string tmp = path + ".tmp";
+      KGEVAL_RETURN_NOT_OK(SaveModel(model, tmp));
+      std::error_code rename_ec;
+      std::filesystem::rename(tmp, path, rename_ec);
+      if (rename_ec) {
+        return Status::IoError(StrFormat("cannot rename %s to %s: %s",
+                                         tmp.c_str(), path.c_str(),
+                                         rename_ec.message().c_str()));
+      }
     }
     if (callback) callback(epoch, *model);
   }

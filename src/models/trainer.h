@@ -45,8 +45,17 @@ struct TrainerOptions {
 };
 
 /// The snapshot path Train() writes for `epoch`: zero-padded so a
-/// lexicographic listing of the directory is the epoch order.
-std::string CheckpointPath(const std::string& checkpoint_dir, int32_t epoch);
+/// lexicographic listing of the directory is the epoch order. The pad is
+/// 5 digits, widened when `total_epochs` (the run's TrainerOptions::epochs;
+/// 0 = unknown) needs more — a 7-digit run zero-pads to 7 everywhere, so
+/// "epoch_100000" can never sort between "epoch_00001" and "epoch_00002".
+/// Callers reconstructing a training run's paths must pass the same
+/// total_epochs the Trainer was configured with (≤ 100000-epoch runs are
+/// unaffected either way). The service's SWEEP/WATCH ordering does not
+/// depend on this: it orders by parsed epoch number
+/// (CheckpointEpochKey), with lexicographic order only as the tie-break.
+std::string CheckpointPath(const std::string& checkpoint_dir, int32_t epoch,
+                           int32_t total_epochs = 0);
 
 /// Drives epochs of stochastic training over a dataset's train split.
 class Trainer {

@@ -1,0 +1,227 @@
+#include "net/connection.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kgeval {
+
+Connection::Connection(EventLoop* loop, int fd, ConnectionOptions options)
+    : loop_(loop), fd_(fd), options_(options) {
+  KGEVAL_CHECK(options_.low_water_bytes <= options_.high_water_bytes);
+}
+
+Connection::~Connection() {
+  // Close() ran unless the loop shut down with the connection still open;
+  // either way the fd must not leak.
+  if (!closed_.load()) ::close(fd_);
+}
+
+void Connection::Start(LineFn on_line, CloseFn on_close) {
+  on_line_ = std::move(on_line);
+  on_close_ = std::move(on_close);
+  auto self = shared_from_this();
+  loop_->Add(fd_, kEventRead,
+             [self](uint32_t events) { self->HandleReady(events); });
+}
+
+void Connection::HandleReady(uint32_t events) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  if (events & kEventWrite) FlushSome();
+  if (closed_.load(std::memory_order_acquire)) return;
+  if (events & kEventRead) HandleReadable();
+}
+
+void Connection::HandleReadable() {
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      input_.append(buf, static_cast<size_t>(n));
+      ExtractLines();
+      if (closed_.load(std::memory_order_acquire)) return;
+      // A callback may have paused reads (flow control / high water):
+      // stop pulling more input this round.
+      if (paused_by_server_ || paused_by_high_water_ || close_when_drained_) {
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // Peer closed.
+      Close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    Close();
+    return;
+  }
+}
+
+void Connection::ExtractLines() {
+  size_t start = 0;
+  while (true) {
+    const size_t nl = input_.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (overflow_) {
+      // End of the oversized line: report it once, resume normally after.
+      overflow_ = false;
+      on_line_(std::string_view(), /*overflow=*/true);
+    } else {
+      size_t end = nl;
+      if (end > start && input_[end - 1] == '\r') --end;
+      const std::string_view line(input_.data() + start, end - start);
+      if (line.size() > options_.max_line_bytes) {
+        on_line_(std::string_view(), /*overflow=*/true);
+      } else {
+        on_line_(line, /*overflow=*/false);
+      }
+    }
+    start = nl + 1;
+    if (closed_.load(std::memory_order_acquire)) return;
+  }
+  input_.erase(0, start);
+  // An unterminated line beyond the limit: discard what we have and flag,
+  // so a hostile client cannot grow the input buffer without newlines.
+  if (!overflow_ && input_.size() > options_.max_line_bytes) {
+    overflow_ = true;
+    input_.clear();
+  } else if (overflow_) {
+    input_.clear();
+  }
+}
+
+bool Connection::Enqueue(std::string data) {
+  std::lock_guard<std::mutex> lock(out_mutex_);
+  if (closed_.load(std::memory_order_acquire)) return false;
+  out_.append(data);
+  bytes_sent_.fetch_add(data.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Connection::RequestFlush() {
+  auto self = shared_from_this();
+  if (loop_->InLoopThread()) {
+    FlushSome();
+  } else {
+    loop_->Post([self] {
+      if (!self->closed()) self->FlushSome();
+    });
+  }
+}
+
+void Connection::Send(std::string data) {
+  if (!Enqueue(std::move(data))) return;
+  RequestFlush();
+}
+
+bool Connection::BlockingSend(std::string data) {
+  KGEVAL_CHECK(!loop_->InLoopThread())
+      << "BlockingSend would deadlock the loop thread";
+  {
+    std::unique_lock<std::mutex> lock(out_mutex_);
+    below_high_water_.wait(lock, [&] {
+      return closed_.load(std::memory_order_acquire) ||
+             out_.size() - out_head_ <= options_.high_water_bytes;
+    });
+    if (closed_.load(std::memory_order_acquire)) return false;
+    out_.append(data);
+    bytes_sent_.fetch_add(data.size(), std::memory_order_relaxed);
+  }
+  RequestFlush();
+  return true;
+}
+
+void Connection::FlushSome() {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return;
+    while (out_head_ < out_.size()) {
+      // send(MSG_NOSIGNAL), not write(): a peer that vanished mid-reply
+      // must surface as EPIPE here, not as a process-killing SIGPIPE —
+      // the server also runs embedded in tests and benches.
+      const ssize_t n = ::send(fd_, out_.data() + out_head_,
+                               out_.size() - out_head_, MSG_NOSIGNAL);
+      if (n > 0) {
+        out_head_ += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Broken pipe et al.: the reader is gone.
+      out_.clear();
+      out_head_ = 0;
+      break;
+    }
+    if (out_head_ == out_.size()) {
+      out_.clear();
+      out_head_ = 0;
+    } else if (out_head_ > options_.high_water_bytes) {
+      // Compact occasionally so the dead prefix cannot dominate memory.
+      out_.erase(0, out_head_);
+      out_head_ = 0;
+    }
+    const size_t pending = out_.size() - out_head_;
+    want_write_ = pending > 0;
+    paused_by_high_water_ = pending > options_.high_water_bytes;
+    if (pending <= options_.low_water_bytes) {
+      below_high_water_.notify_all();
+    }
+    drained = pending == 0;
+  }
+  if (drained && close_when_drained_) {
+    Close();
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::UpdateInterest() {
+  if (closed_.load(std::memory_order_acquire)) return;
+  uint32_t events = 0;
+  if (!paused_by_server_ && !paused_by_high_water_ && !close_when_drained_) {
+    events |= kEventRead;
+  }
+  if (want_write_) events |= kEventWrite;
+  loop_->SetEvents(fd_, events);
+}
+
+void Connection::CloseWhenDrained() {
+  close_when_drained_ = true;
+  FlushSome();  // Close()s inline when nothing is pending.
+}
+
+void Connection::PauseReads() {
+  paused_by_server_ = true;
+  UpdateInterest();
+}
+
+void Connection::ResumeReads() {
+  paused_by_server_ = false;
+  UpdateInterest();
+}
+
+void Connection::Close() {
+  if (closed_.exchange(true)) return;
+  loop_->Remove(fd_);
+  ::close(fd_);
+  {
+    // Wake BlockingSend waiters; they observe closed_ and bail.
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    below_high_water_.notify_all();
+  }
+  if (on_close_) {
+    // Moved-from first: the callback usually drops the server's owning
+    // reference, which may destroy *this* on return.
+    CloseFn cb = std::move(on_close_);
+    on_close_ = nullptr;
+    cb();
+  }
+}
+
+}  // namespace kgeval

@@ -1,0 +1,133 @@
+#ifndef KGEVAL_NET_CONNECTION_H_
+#define KGEVAL_NET_CONNECTION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.h"
+
+namespace kgeval {
+
+/// Tuning knobs of a buffered connection.
+struct ConnectionOptions {
+  /// Longest accepted request line (terminator excluded). A client that
+  /// exceeds it gets one overflow event per offending line (the line is
+  /// discarded up to its newline, the connection survives) — a protocol
+  /// error must never cost a disconnect, or a pipelined client loses every
+  /// response queued behind the bad line.
+  size_t max_line_bytes = 4096;
+  /// Output high-water mark: once this many response bytes are buffered,
+  /// the connection stops reading new requests (backpressure instead of
+  /// unbounded buffering) and BlockingSend() callers wait.
+  size_t high_water_bytes = 256 * 1024;
+  /// Reads resume (and BlockingSend() callers wake) once the buffered
+  /// output drains below this. Hysteresis, not a second limit.
+  size_t low_water_bytes = 64 * 1024;
+};
+
+/// One buffered, non-blocking TCP connection owned by an EventLoop.
+///
+/// Reading: the loop thread pulls bytes into an input buffer and delivers
+/// complete lines (LF or CRLF terminated, terminator stripped) to the line
+/// callback — as many lines per read as arrived, which is what makes
+/// pipelining free: a client may write N requests back-to-back and the
+/// callback fires N times in request order.
+///
+/// Writing: responses append to an internal output buffer and are flushed
+/// by the loop thread as the socket accepts them. Send() never blocks and
+/// is safe from any thread (job threads finishing a command call it
+/// through a loop Post); BlockingSend() additionally parks the calling job
+/// thread while the buffer sits above the high-water mark, so a slow
+/// client throttles its own stream instead of growing the server's heap.
+///
+/// Lifetime: shared_ptr, kept alive by the loop registration and by any
+/// job-thread closure still holding it. After Close() every Send becomes a
+/// no-op and BlockingSend returns false.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// `overflow == false`: `line` is one complete request line.
+  /// `overflow == true`: a line exceeded max_line_bytes and was discarded
+  /// (`line` is empty) — the callee should emit a protocol error.
+  using LineFn = std::function<void(std::string_view line, bool overflow)>;
+  using CloseFn = std::function<void()>;
+
+  /// Takes ownership of `fd` (closed on Close).
+  Connection(EventLoop* loop, int fd, ConnectionOptions options);
+  ~Connection();
+
+  /// Registers with the loop and starts delivering lines. Must run on the
+  /// loop thread; a shared_ptr must already own `this`.
+  void Start(LineFn on_line, CloseFn on_close);
+
+  /// Queues `data` for writing. Never blocks; any thread; dropped if the
+  /// connection is closed.
+  void Send(std::string data);
+
+  /// Queues `data`, waiting first while the output buffer is above the
+  /// high-water mark. Job threads only (the loop thread must never park
+  /// here). Returns false — without queueing — once the connection closed.
+  bool BlockingSend(std::string data);
+
+  /// Flushes buffered output, then closes. New reads stop immediately.
+  void CloseWhenDrained();
+
+  /// Closes now: deregisters, closes the fd, wakes BlockingSend waiters,
+  /// fires the close callback once. Loop thread only.
+  void Close();
+
+  /// Server-side flow control, independent of the high-water pause: while
+  /// paused the connection keeps the socket open but reads nothing. Loop
+  /// thread only.
+  void PauseReads();
+  void ResumeReads();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  int fd() const { return fd_; }
+  /// Response bytes accepted so far (diagnostics; any thread).
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+
+ private:
+  void HandleReady(uint32_t events);
+  void HandleReadable();
+  void ExtractLines();
+  /// Writes what the socket will take; updates pauses/interest. Loop
+  /// thread only.
+  void FlushSome();
+  void UpdateInterest();
+  /// Appends under the output lock; returns false when closed.
+  bool Enqueue(std::string data);
+  /// Schedules a FlushSome on the loop thread.
+  void RequestFlush();
+
+  EventLoop* loop_;
+  const int fd_;
+  const ConnectionOptions options_;
+  LineFn on_line_;
+  CloseFn on_close_;
+
+  // Loop-thread state.
+  std::string input_;
+  bool overflow_ = false;
+  bool paused_by_server_ = false;
+  bool paused_by_high_water_ = false;
+  bool close_when_drained_ = false;
+  bool want_write_ = false;
+
+  // Output state shared between the loop thread and job threads.
+  std::mutex out_mutex_;
+  std::condition_variable below_high_water_;
+  std::string out_;
+  size_t out_head_ = 0;  // Bytes of out_ already written.
+
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_NET_CONNECTION_H_

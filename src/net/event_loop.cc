@@ -1,0 +1,208 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+#if defined(__linux__) && !defined(KGEVAL_FORCE_POLL)
+#include <sys/epoll.h>
+#define KGEVAL_NET_EPOLL 1
+#endif
+
+namespace kgeval {
+
+namespace {
+
+void SetNonBlockingOrDie(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  KGEVAL_CHECK(flags >= 0) << "fcntl(F_GETFL): errno " << errno;
+  KGEVAL_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "fcntl(F_SETFL): errno " << errno;
+}
+
+#ifdef KGEVAL_NET_EPOLL
+uint32_t ToEpoll(uint32_t events) {
+  uint32_t e = 0;
+  if (events & kEventRead) e |= EPOLLIN;
+  if (events & kEventWrite) e |= EPOLLOUT;
+  return e;
+}
+
+uint32_t FromEpoll(uint32_t e) {
+  uint32_t events = 0;
+  if (e & (EPOLLIN | EPOLLHUP | EPOLLERR)) events |= kEventRead;
+  if (e & (EPOLLOUT | EPOLLERR)) events |= kEventWrite;
+  return events;
+}
+#endif
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  int pipe_fds[2];
+  KGEVAL_CHECK(::pipe(pipe_fds) == 0) << "pipe: errno " << errno;
+  wakeup_read_ = pipe_fds[0];
+  wakeup_write_ = pipe_fds[1];
+  SetNonBlockingOrDie(wakeup_read_);
+  SetNonBlockingOrDie(wakeup_write_);
+#ifdef KGEVAL_NET_EPOLL
+  epoll_fd_ = ::epoll_create1(0);
+  KGEVAL_CHECK(epoll_fd_ >= 0) << "epoll_create1: errno " << errno;
+#endif
+  // The wakeup pipe's read end drains itself; Post()ed tasks run from
+  // RunPosted() after the dispatch pass.
+  Add(wakeup_read_, kEventRead, [this](uint32_t) {
+    char buf[64];
+    while (::read(wakeup_read_, buf, sizeof(buf)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  Remove(wakeup_read_);
+#ifdef KGEVAL_NET_EPOLL
+  ::close(epoll_fd_);
+#endif
+  ::close(wakeup_read_);
+  ::close(wakeup_write_);
+}
+
+void EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  KGEVAL_CHECK(fds_.find(fd) == fds_.end()) << "fd " << fd << " registered twice";
+  fds_[fd] = Registration{events, std::move(callback)};
+#ifdef KGEVAL_NET_EPOLL
+  struct epoll_event ev = {};
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  KGEVAL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(ADD): errno " << errno;
+#endif
+}
+
+void EventLoop::SetEvents(int fd, uint32_t events) {
+  auto it = fds_.find(fd);
+  KGEVAL_CHECK(it != fds_.end()) << "fd " << fd << " not registered";
+  if (it->second.events == events) return;
+  it->second.events = events;
+#ifdef KGEVAL_NET_EPOLL
+  struct epoll_event ev = {};
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  KGEVAL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl(MOD): errno " << errno;
+#endif
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  fds_.erase(it);
+#ifdef KGEVAL_NET_EPOLL
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+}
+
+void EventLoop::Run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  stop_ = false;
+  while (!stop_) {
+    PollOnce(/*timeout_ms=*/200);
+    RunPosted();
+    if (stop_requested_.exchange(false)) stop_ = true;
+  }
+  loop_thread_.store(std::thread::id(), std::memory_order_release);
+}
+
+bool EventLoop::InLoopThread() const {
+  return loop_thread_.load(std::memory_order_acquire) ==
+         std::this_thread::get_id();
+}
+
+void EventLoop::Stop() {
+  stop_requested_.store(true);
+  Wakeup();
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  (void)!::write(wakeup_write_, &byte, 1);
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::PollOnce(int timeout_ms) {
+#ifdef KGEVAL_NET_EPOLL
+  struct epoll_event ready[64];
+  const int n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+  if (n < 0) {
+    KGEVAL_CHECK(errno == EINTR) << "epoll_wait: errno " << errno;
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = ready[i].data.fd;
+    // The callback for an earlier fd may have Remove()d a later one.
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;
+    const uint32_t events = FromEpoll(ready[i].events) & (it->second.events | kEventRead);
+    if (events == 0) continue;
+    // Invoked through a copy: the callback may Remove() its own fd (a
+    // connection closing on read error does), which erases the map entry
+    // holding the std::function currently executing.
+    const FdCallback callback = it->second.callback;
+    callback(events);
+  }
+#else
+  std::vector<struct pollfd> poll_fds;
+  poll_fds.reserve(fds_.size());
+  for (const auto& [fd, reg] : fds_) {
+    struct pollfd p = {};
+    p.fd = fd;
+    if (reg.events & kEventRead) p.events |= POLLIN;
+    if (reg.events & kEventWrite) p.events |= POLLOUT;
+    poll_fds.push_back(p);
+  }
+  const int n = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
+  if (n < 0) {
+    KGEVAL_CHECK(errno == EINTR) << "poll: errno " << errno;
+    return;
+  }
+  if (n == 0) return;
+  for (const auto& p : poll_fds) {
+    if (p.revents == 0) continue;
+    auto it = fds_.find(p.fd);
+    if (it == fds_.end()) continue;
+    uint32_t events = 0;
+    if (p.revents & (POLLIN | POLLHUP | POLLERR)) events |= kEventRead;
+    if (p.revents & (POLLOUT | POLLERR)) events |= kEventWrite;
+    events &= (it->second.events | kEventRead);
+    if (events == 0) continue;
+    // Same self-Remove() hazard as the epoll branch: invoke a copy.
+    const FdCallback callback = it->second.callback;
+    callback(events);
+  }
+#endif
+}
+
+}  // namespace kgeval

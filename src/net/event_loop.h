@@ -1,0 +1,92 @@
+#ifndef KGEVAL_NET_EVENT_LOOP_H_
+#define KGEVAL_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace kgeval {
+
+/// Readiness interest of a registered fd, OR-able.
+enum : uint32_t {
+  kEventRead = 1u << 0,
+  kEventWrite = 1u << 1,
+};
+
+/// A single-threaded readiness event loop over non-blocking fds: epoll on
+/// Linux, poll(2) everywhere else (KGEVAL_FORCE_POLL selects the fallback on
+/// Linux too, so both backends are testable on one machine). All fd
+/// registration and every callback run on the loop thread; the only
+/// cross-thread entry point is Post(), which enqueues a closure and wakes
+/// the loop through its wakeup pipe — this is how job threads hand finished
+/// command responses back to the connection they belong to.
+///
+/// The loop never blocks on anything but the poller: callbacks that would
+/// block (evaluation, disk I/O) belong on job threads, with Post() carrying
+/// their results home.
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t ready_events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given interest; `callback(ready)` fires from
+  /// Run() whenever the fd is ready. One registration per fd.
+  void Add(int fd, uint32_t events, FdCallback callback);
+  /// Replaces the interest set of a registered fd.
+  void SetEvents(int fd, uint32_t events);
+  /// Deregisters `fd`. Safe to call from inside its own callback; the fd is
+  /// not closed (ownership stays with the caller).
+  void Remove(int fd);
+
+  /// Runs callbacks until Stop(). Must be called from exactly one thread,
+  /// which becomes the loop thread.
+  void Run();
+  /// Makes Run() return after the current iteration. Thread-safe.
+  void Stop();
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop.
+  /// Thread-safe; the only EventLoop method job threads may call (besides
+  /// Stop). Tasks run in post order, after fd callbacks of the iteration.
+  void Post(std::function<void()> task);
+
+  /// True iff the calling thread is inside Run(). Lets shared helpers
+  /// assert they are (or are not) on the loop thread.
+  bool InLoopThread() const;
+
+ private:
+  struct Registration {
+    uint32_t events = 0;
+    FdCallback callback;
+  };
+
+  /// Polls once with `timeout_ms` and dispatches ready callbacks.
+  void PollOnce(int timeout_ms);
+  void RunPosted();
+  void Wakeup();
+
+  std::unordered_map<int, Registration> fds_;
+  int wakeup_read_ = -1;
+  int wakeup_write_ = -1;
+#if defined(__linux__) && !defined(KGEVAL_FORCE_POLL)
+  int epoll_fd_ = -1;
+#endif
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_ = false;  // Loop thread only.
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_NET_EVENT_LOOP_H_

@@ -1,0 +1,38 @@
+#ifndef KGEVAL_NET_NET_UTIL_H_
+#define KGEVAL_NET_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace kgeval {
+
+/// A bound, listening TCP socket plus the port it actually bound (the
+/// interesting case is requesting port 0 and letting the kernel pick).
+struct Listener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+/// Creates a non-blocking IPv4 listening socket on `host:port` with
+/// SO_REUSEADDR. `port == 0` binds an ephemeral port; the resolved port is
+/// returned either way.
+Result<Listener> CreateTcpListener(const std::string& host, uint16_t port,
+                                   int backlog = 128);
+
+/// Blocking IPv4 connect — the client side used by tests and the load
+/// bench; the server never calls this.
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Sets O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm. Request/response protocols with small
+/// frames want the reply on the wire immediately, not after a 40 ms
+/// delayed-ACK dance.
+Status SetTcpNoDelay(int fd);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_NET_NET_UTIL_H_

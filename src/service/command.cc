@@ -1,0 +1,62 @@
+#include "service/command.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace kgeval {
+
+const std::vector<CommandSpec>& CommandTable() {
+  static const std::vector<CommandSpec> kTable = {
+      {Verb::kPing, "PING", 0, 0, false, "PING"},
+      {Verb::kLoad, "LOAD", 1, 2, false, "LOAD <dataset> [valid|test]"},
+      {Verb::kEval, "EVAL", 1, 2, false, "EVAL <ckpt> [half_width]"},
+      {Verb::kSweep, "SWEEP", 1, 1, true, "SWEEP <dir>"},
+      {Verb::kWatch, "WATCH", 2, 3, true, "WATCH <dir> <count> [timeout_s]"},
+      {Verb::kStats, "STATS", 0, 0, false, "STATS"},
+      {Verb::kQuit, "QUIT", 0, 0, false, "QUIT"},
+  };
+  return kTable;
+}
+
+const CommandSpec* FindCommand(std::string_view name) {
+  for (const CommandSpec& spec : CommandTable()) {
+    const char* want = spec.name;
+    size_t i = 0;
+    for (; i < name.size() && want[i] != '\0'; ++i) {
+      if (std::toupper(static_cast<unsigned char>(name[i])) != want[i]) break;
+    }
+    if (i == name.size() && want[i] == '\0') return &spec;
+  }
+  return nullptr;
+}
+
+Result<ParsedCommand> ParseCommandLine(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  if (tokens.empty()) return ParsedCommand{};  // Blank line: ignored.
+  const CommandSpec* spec = FindCommand(tokens[0]);
+  if (spec == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown-verb %s", tokens[0].c_str()));
+  }
+  const int argc = static_cast<int>(tokens.size()) - 1;
+  if (argc < spec->min_args || argc > spec->max_args) {
+    return Status::InvalidArgument(
+        StrFormat("arity %s takes %d..%d args, got %d (syntax: %s)",
+                  spec->name, spec->min_args, spec->max_args, argc,
+                  spec->syntax));
+  }
+  ParsedCommand cmd;
+  cmd.spec = spec;
+  cmd.args.assign(tokens.begin() + 1, tokens.end());
+  return cmd;
+}
+
+}  // namespace kgeval

@@ -1,0 +1,60 @@
+#ifndef KGEVAL_SERVICE_COMMAND_H_
+#define KGEVAL_SERVICE_COMMAND_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgeval {
+
+/// The verbs of the kgeval wire protocol. docs/PROTOCOL.md is the
+/// normative description of each; the conformance suite
+/// (tests/service_test.cc) enumerates this table against that document, so
+/// adding a verb without documenting it fails CI.
+enum class Verb {
+  kPing,
+  kLoad,
+  kEval,
+  kSweep,
+  kWatch,
+  kStats,
+  kQuit,
+};
+
+/// One row of the command table: the verb, its canonical spelling, its
+/// arity bounds, and whether it streams ITEM lines before its terminal
+/// reply (protocol shape, not an implementation detail — clients parse by
+/// it).
+struct CommandSpec {
+  Verb verb;
+  const char* name;
+  int min_args;
+  int max_args;
+  bool streaming;
+  /// Human-readable grammar, mirrored in docs/PROTOCOL.md.
+  const char* syntax;
+};
+
+/// The full command table, in the order PROTOCOL.md documents the verbs.
+const std::vector<CommandSpec>& CommandTable();
+
+/// Looks up a verb by case-insensitive name; nullptr when unknown.
+const CommandSpec* FindCommand(std::string_view name);
+
+/// A request line parsed against the table.
+struct ParsedCommand {
+  const CommandSpec* spec = nullptr;
+  std::vector<std::string> args;
+};
+
+/// Splits `line` on runs of spaces/tabs and validates verb + arity.
+/// Errors use the protocol's machine-readable reason as the Status message
+/// prefix: "unknown-verb ..." / "arity ...". A blank line parses to a
+/// ParsedCommand with spec == nullptr (the server ignores it silently).
+Result<ParsedCommand> ParseCommandLine(std::string_view line);
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_SERVICE_COMMAND_H_

@@ -1,0 +1,280 @@
+#include "service/eval_server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/net_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace kgeval {
+
+/// The protocol version in the connect banner. Bump rules are in
+/// docs/PROTOCOL.md ("Versioning").
+static constexpr int kProtocolVersion = 1;
+
+/// Per-connection server state. Owned by the loop thread; executor jobs
+/// only touch the Connection (thread-safe) and post everything else home.
+struct EvalServer::Client {
+  struct Request {
+    std::string line;
+    bool overflow = false;
+  };
+
+  std::shared_ptr<Connection> conn;
+  std::deque<Request> pending;
+  bool busy = false;           // An executor job is running for this client.
+  bool paused = false;         // Reads paused by queue-depth flow control.
+  bool quitting = false;       // QUIT seen: drain replies, then close.
+};
+
+/// The command executor pool: plain worker threads draining a FIFO of
+/// command closures. Deliberately *not* the shared scoring pool — an
+/// executor thread is a job thread that blocks (on streamed-reply
+/// backpressure, on WATCH polls), and the scoring workers must never
+/// block on a slow client. The evaluation inside a command fans out to
+/// the shared pool through TaskGroups and helps drain its own chunks
+/// while waiting, exactly like RunJobsConcurrently's job threads.
+class EvalServer::Executor {
+ public:
+  explicit Executor(size_t threads) {
+    for (size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~Executor() { Shutdown(); }
+
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      KGEVAL_CHECK(!stopping_) << "Submit after Executor::Shutdown";
+      queue_.push(std::move(fn));
+    }
+    work_.notify_one();
+  }
+
+  /// Runs every queued job (they fail fast once connections are closed),
+  /// then joins. Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_.notify_all();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  void Loop() {
+    while (true) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained.
+        fn = std::move(queue_.front());
+        queue_.pop();
+      }
+      fn();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+EvalServer::EvalServer(Options options) : options_(std::move(options)) {}
+
+EvalServer::~EvalServer() { Shutdown(); }
+
+Result<std::unique_ptr<EvalServer>> EvalServer::Start(Options options) {
+  std::unique_ptr<EvalServer> server(new EvalServer(std::move(options)));
+  Status status = server->Init();
+  if (!status.ok()) return status;
+  return server;
+}
+
+Status EvalServer::Init() {
+  service_ = std::make_unique<EvalService>(options_.service);
+  auto listener = CreateTcpListener(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = listener.ValueOrDie().fd;
+  port_ = listener.ValueOrDie().port;
+  // Registered before the loop thread exists, so no concurrent map access.
+  loop_.Add(listen_fd_, kEventRead, [this](uint32_t) { HandleAccept(); });
+  size_t executors = options_.executor_threads;
+  if (executors == 0) {
+    executors = std::max<size_t>(2, GlobalThreadPool()->num_threads());
+  }
+  executor_ = std::make_unique<Executor>(executors);
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  KGEVAL_LOG(Info) << "kgeval-server listening on " << options_.host << ":"
+                   << port_ << " (" << executors << " executors)";
+  return Status::OK();
+}
+
+void EvalServer::HandleAccept() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      KGEVAL_LOG(Warning) << "accept: " << ::strerror(errno);
+      return;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    (void)SetTcpNoDelay(fd);
+    auto& counters = service_->counters();
+    counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters.connections_open.fetch_add(1, std::memory_order_relaxed);
+    auto client = std::make_shared<Client>();
+    client->conn =
+        std::make_shared<Connection>(&loop_, fd, options_.connection);
+    clients_.insert(client);
+    std::weak_ptr<Client> weak = client;
+    client->conn->Start(
+        [this, client](std::string_view line, bool overflow) {
+          OnLine(client, line, overflow);
+        },
+        [this, weak] {
+          if (auto c = weak.lock()) OnClose(c);
+        });
+    client->conn->Send(StrFormat("KGEVAL %d\n", kProtocolVersion));
+  }
+}
+
+void EvalServer::OnClose(const std::shared_ptr<Client>& client) {
+  service_->counters().connections_open.fetch_sub(1,
+                                                  std::memory_order_relaxed);
+  client->pending.clear();
+  clients_.erase(client);
+}
+
+void EvalServer::UpdateClientFlowControl(
+    const std::shared_ptr<Client>& client) {
+  if (client->conn->closed()) return;
+  if (!client->paused &&
+      client->pending.size() >= options_.max_queued_commands) {
+    client->paused = true;
+    client->conn->PauseReads();
+  } else if (client->paused &&
+             client->pending.size() <= options_.max_queued_commands / 2) {
+    client->paused = false;
+    client->conn->ResumeReads();
+  }
+}
+
+void EvalServer::OnLine(const std::shared_ptr<Client>& client,
+                        std::string_view line, bool overflow) {
+  if (client->quitting || client->conn->closed()) return;
+  client->pending.push_back(Client::Request{std::string(line), overflow});
+  UpdateClientFlowControl(client);
+  PumpClient(client);
+}
+
+void EvalServer::PumpClient(const std::shared_ptr<Client>& client) {
+  auto& counters = service_->counters();
+  while (!client->busy && !client->pending.empty() &&
+         !client->conn->closed()) {
+    Client::Request request = std::move(client->pending.front());
+    client->pending.pop_front();
+    UpdateClientFlowControl(client);
+
+    if (request.overflow) {
+      counters.errors.fetch_add(1, std::memory_order_relaxed);
+      client->conn->Send("ERR line-too-long request line exceeds limit\n");
+      continue;
+    }
+    auto parsed = ParseCommandLine(request.line);
+    if (!parsed.ok()) {
+      counters.commands.fetch_add(1, std::memory_order_relaxed);
+      counters.errors.fetch_add(1, std::memory_order_relaxed);
+      client->conn->Send(
+          StrFormat("ERR %s\n", parsed.status().message().c_str()));
+      continue;
+    }
+    ParsedCommand cmd = std::move(parsed).ValueOrDie();
+    if (cmd.spec == nullptr) continue;  // Blank line.
+
+    if (cmd.spec->verb == Verb::kQuit) {
+      counters.commands.fetch_add(1, std::memory_order_relaxed);
+      client->quitting = true;
+      client->conn->Send("OK bye\n");
+      client->conn->CloseWhenDrained();
+      return;
+    }
+    if (cmd.spec->verb == Verb::kPing || cmd.spec->verb == Verb::kStats) {
+      // Non-blocking verbs answer from the loop thread itself: they stay
+      // fast while every executor is deep in a sweep, which is exactly
+      // when an operator wants STATS to answer.
+      auto conn = client->conn;
+      service_->Execute(cmd, [&conn](const std::string& reply) {
+        conn->Send(reply + "\n");
+        return !conn->closed();
+      });
+      continue;
+    }
+
+    // Blocking verb: at most one in flight per connection, so pipelined
+    // replies keep request order; the next request starts from the
+    // completion post.
+    client->busy = true;
+    auto conn = client->conn;
+    executor_->Submit([this, client, conn, cmd = std::move(cmd)] {
+      service_->Execute(cmd, [&conn](const std::string& reply) {
+        return conn->BlockingSend(reply + "\n");
+      });
+      loop_.Post([this, client] {
+        client->busy = false;
+        if (!client->conn->closed()) PumpClient(client);
+      });
+    });
+    return;
+  }
+}
+
+void EvalServer::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  service_->RequestShutdown();
+  // Close the listener and every connection from the loop thread, which
+  // owns them; closing wakes any executor blocked in BlockingSend.
+  std::promise<void> closed;
+  loop_.Post([this, &closed] {
+    loop_.Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    // Close() mutates clients_ through OnClose; iterate a copy.
+    const std::vector<std::shared_ptr<Client>> open(clients_.begin(),
+                                                    clients_.end());
+    for (const auto& client : open) client->conn->Close();
+    closed.set_value();
+  });
+  closed.get_future().wait();
+  // Executors drain (their emits fail fast now), then stop posting.
+  executor_->Shutdown();
+  loop_.Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+}  // namespace kgeval

@@ -1,0 +1,98 @@
+#ifndef KGEVAL_SERVICE_EVAL_SERVER_H_
+#define KGEVAL_SERVICE_EVAL_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "service/eval_service.h"
+#include "util/status.h"
+
+namespace kgeval {
+
+/// The kgeval evaluation service over TCP: one event-loop thread owning
+/// every socket, a small executor pool running commands, and the shared
+/// worker pool underneath doing the actual scoring. docs/PROTOCOL.md is
+/// the wire contract; docs/ARCHITECTURE.md places this layer in the stack.
+///
+/// Division of labor:
+///  - Loop thread: accept, read, line framing, reply ordering, flushes.
+///    It never evaluates anything, so the server stays responsive (PING,
+///    STATS, new connections) while hours of SWEEP are in flight.
+///  - Executor threads: one in-flight command per connection at most, so
+///    pipelined requests on one connection answer strictly in request
+///    order while different connections' commands run concurrently. The
+///    evaluation inside fans out to the shared worker pool through the
+///    scheduler's TaskGroups exactly like any other job.
+///  - Streaming replies (SWEEP/WATCH ITEM lines) go through the
+///    connection's blocking send: above the high-water mark the *job*
+///    waits, never the loop.
+class EvalServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the real one from port().
+    uint16_t port = 0;
+    /// 0 = max(2, worker-pool width). The cap on concurrently executing
+    /// commands across all connections.
+    size_t executor_threads = 0;
+    /// Pipelined requests buffered per connection before its reads pause
+    /// (the request-side counterpart of the byte high-water mark).
+    size_t max_queued_commands = 1024;
+    ConnectionOptions connection;
+    EvalService::Options service;
+  };
+
+  /// Binds, starts the loop thread and executors, and begins accepting.
+  static Result<std::unique_ptr<EvalServer>> Start(Options options);
+
+  /// Stops accepting, closes every connection, interrupts in-flight
+  /// WATCHes, and joins all threads. Idempotent; also run by ~EvalServer.
+  void Shutdown();
+  ~EvalServer();
+
+  EvalServer(const EvalServer&) = delete;
+  EvalServer& operator=(const EvalServer&) = delete;
+
+  /// The bound port (the resolved one when Options::port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+  EvalService& service() { return *service_; }
+
+ private:
+  struct Client;
+  class Executor;
+
+  explicit EvalServer(Options options);
+  Status Init();
+
+  void HandleAccept();
+  void OnLine(const std::shared_ptr<Client>& client, std::string_view line,
+              bool overflow);
+  void OnClose(const std::shared_ptr<Client>& client);
+  /// Starts queued requests until one dispatches to an executor (or the
+  /// queue drains). Loop thread only.
+  void PumpClient(const std::shared_ptr<Client>& client);
+  void UpdateClientFlowControl(const std::shared_ptr<Client>& client);
+
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::unique_ptr<EvalService> service_;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  std::unique_ptr<Executor> executor_;
+  /// Live clients; loop thread only. Shutdown closes them all (which is
+  /// what wakes executors blocked on a slow client's backpressure).
+  std::unordered_set<std::shared_ptr<Client>> clients_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_SERVICE_EVAL_SERVER_H_

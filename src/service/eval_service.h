@@ -1,0 +1,123 @@
+#ifndef KGEVAL_SERVICE_EVAL_SERVICE_H_
+#define KGEVAL_SERVICE_EVAL_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/eval_session.h"
+#include "graph/dataset.h"
+#include "service/command.h"
+#include "synth/config.h"
+#include "synth/generator.h"
+
+namespace kgeval {
+
+/// Service-wide counters behind the STATS verb. All atomics: command
+/// execution is concurrent across connections, and the accept loop bumps
+/// the connection counters from the event-loop thread.
+struct ServiceCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_open{0};
+  std::atomic<uint64_t> commands{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> items_streamed{0};
+  std::atomic<uint64_t> checkpoints_evaluated{0};
+  std::atomic<uint64_t> in_flight{0};
+};
+
+/// The verb implementations behind kgeval-server, separated from sockets:
+/// Execute() consumes a parsed command and produces protocol reply lines
+/// through an emit callback, so tests can drive the full command surface
+/// without a connection and the server stays a thin dispatch layer.
+///
+/// Threading: Execute() runs on executor (job) threads, any number
+/// concurrently. The loaded dataset/session state is swapped atomically
+/// under a mutex and snapshotted per command as a shared_ptr, so a LOAD
+/// replacing the state never invalidates an in-flight EVAL/SWEEP/WATCH —
+/// the old session lives until its last command finishes.
+class EvalService {
+ public:
+  struct Options {
+    /// Dataset scale LOAD generates presets at. Scaled keeps LOAD in
+    /// interactive territory; paper-scale is minutes.
+    PresetScale scale = PresetScale::kScaled;
+    /// WATCH's directory poll interval.
+    int poll_interval_ms = 50;
+    /// WATCH's default timeout when the client omits one.
+    double default_watch_timeout_s = 30.0;
+  };
+
+  /// The framework configuration LOAD builds sessions with. One definition
+  /// shared by the service, bench_service_load, and the tests: the load
+  /// bench's byte-parity gate reconstructs this exact session (same preset,
+  /// same options, same seed, first pool draw) and demands identical
+  /// metrics, which only means anything if nobody drifts.
+  static FrameworkOptions ServiceFrameworkOptions();
+
+  EvalService() : EvalService(Options()) {}
+  explicit EvalService(Options options);
+  ~EvalService() = default;
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Emits one complete reply line (no terminator; the transport appends
+  /// it). Returns false when the receiver is gone — streaming verbs stop
+  /// producing.
+  using EmitFn = std::function<bool(const std::string& line)>;
+
+  /// Executes any verb except QUIT (a transport concern), emitting every
+  /// reply line including the terminal OK/DONE/ERR. Never throws; failures
+  /// become ERR lines.
+  void Execute(const ParsedCommand& cmd, const EmitFn& emit);
+
+  /// Makes in-flight WATCH polls return at their next wakeup (server
+  /// shutdown must not wait out a client's timeout).
+  void RequestShutdown() { shutting_down_.store(true); }
+  bool shutting_down() const { return shutting_down_.load(); }
+
+  ServiceCounters& counters() { return counters_; }
+  const Options& options() const { return options_; }
+
+  /// Name of the loaded dataset, or "" before the first LOAD.
+  std::string loaded_name() const;
+
+ private:
+  /// Everything a LOAD produces; commands snapshot one of these.
+  struct Loaded {
+    std::string name;
+    Split split = Split::kTest;
+    std::unique_ptr<SynthOutput> synth;  // Owns the Dataset (stable address).
+    std::unique_ptr<FilterIndex> filter;
+    std::unique_ptr<EvalSession> session;
+  };
+
+  std::shared_ptr<const Loaded> Snapshot() const;
+
+  void ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit);
+  void ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit);
+  void ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit);
+  void ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit);
+  void ExecuteStats(const EmitFn& emit);
+
+  /// emit() + error accounting; returns emit's verdict.
+  bool EmitError(const EmitFn& emit, const std::string& code,
+                 const std::string& message);
+
+  Options options_;
+  ServiceCounters counters_;
+  std::atomic<bool> shutting_down_{false};
+  double start_seconds_;  // Monotonic epoch for uptime.
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const Loaded> state_;
+  std::mutex load_mutex_;  // Serializes LOAD builds, not readers.
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_SERVICE_EVAL_SERVICE_H_

@@ -1,0 +1,125 @@
+#include "service/line_client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "net/net_util.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+
+Result<LineClient> LineClient::Connect(const std::string& host, uint16_t port,
+                                       double recv_timeout_s) {
+  Result<int> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  LineClient client;
+  client.fd_ = fd.ValueOrDie();
+  if (recv_timeout_s > 0) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(recv_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (recv_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (setsockopt(client.fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+        0) {
+      int err = errno;
+      client.Close();
+      return Status::IoError(
+          StrFormat("setsockopt(SO_RCVTIMEO): %s", strerror(err)));
+    }
+  }
+  return client;
+}
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Status LineClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("send: %s", strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("recv timed out waiting for a reply line");
+      }
+      return Status::IoError(StrFormat("recv: %s", strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool LineClient::IsTerminal(const std::string& line) {
+  size_t end = line.find(' ');
+  const std::string verb =
+      end == std::string::npos ? line : line.substr(0, end);
+  return verb == "OK" || verb == "DONE" || verb == "ERR";
+}
+
+Result<std::vector<std::string>> LineClient::ReadReply() {
+  std::vector<std::string> lines;
+  while (true) {
+    Result<std::string> line = ReadLine();
+    if (!line.ok()) return line.status();
+    lines.push_back(std::move(line).ValueOrDie());
+    if (IsTerminal(lines.back())) return lines;
+  }
+}
+
+}  // namespace kgeval

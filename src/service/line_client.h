@@ -1,0 +1,61 @@
+#ifndef KGEVAL_SERVICE_LINE_CLIENT_H_
+#define KGEVAL_SERVICE_LINE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgeval {
+
+/// A minimal blocking client for the kgeval wire protocol
+/// (docs/PROTOCOL.md): connect, write request lines, read reply lines.
+/// This is the reference client the conformance tests and the load bench
+/// drive the server with; it deliberately knows nothing about verbs — only
+/// the framing (LF lines) and the reply shape (ITEM* then one terminal
+/// OK/DONE/ERR line).
+class LineClient {
+ public:
+  /// Connects (blocking) and applies a receive timeout so a hung server
+  /// fails a test instead of wedging it.
+  static Result<LineClient> Connect(const std::string& host, uint16_t port,
+                                    double recv_timeout_s = 30.0);
+
+  LineClient() = default;
+  ~LineClient();
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Writes `line` + LF. Pipelining is just calling this repeatedly
+  /// before reading.
+  Status SendLine(const std::string& line);
+  /// Writes raw bytes (malformed-input tests need exact control).
+  Status SendRaw(const std::string& bytes);
+
+  /// Reads one LF-terminated line (terminator stripped). IoError on
+  /// timeout or peer close.
+  Result<std::string> ReadLine();
+
+  /// True for a reply-terminating line: OK / DONE / ERR as first token.
+  static bool IsTerminal(const std::string& line);
+
+  /// Reads lines up to and including the terminal line of one reply.
+  Result<std::vector<std::string>> ReadReply();
+
+  /// Closes the socket (also done on destruction).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace kgeval
+
+#endif  // KGEVAL_SERVICE_LINE_CLIENT_H_

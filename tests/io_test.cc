@@ -361,6 +361,13 @@ TEST(CheckpointTrainerTest, TrainWritesEpochSnapshots) {
   EXPECT_TRUE(fs::exists(CheckpointPath(trainer_options.checkpoint_dir, 2)));
   EXPECT_TRUE(fs::exists(CheckpointPath(trainer_options.checkpoint_dir, 3)));
 
+  // The atomic-publish protocol leaves no .tmp files behind: every
+  // snapshot was fully written under its temporary name, then renamed.
+  for (const auto& entry :
+       fs::directory_iterator(trainer_options.checkpoint_dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+
   // The final snapshot is loadable and bit-identical to the trained model.
   auto loaded =
       LoadModel(CheckpointPath(trainer_options.checkpoint_dir, 3));
@@ -373,6 +380,24 @@ TEST(CheckpointTrainerTest, TrainWritesEpochSnapshots) {
   bad.checkpoint_every = 0;
   EXPECT_EQ(Trainer(&dataset, bad).Train(model.get()).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTrainerTest, CheckpointPathOrdering) {
+  // The historical trap: with the default 5-digit pad, epoch 100000's
+  // name ("epoch_100000") sorts lexicographically *before* epoch 99999's
+  // ("epoch_99999") because '1' < '9', so a sorted directory listing of a
+  // >100000-epoch run was not epoch order.
+  EXPECT_LT(CheckpointPath("d", 100000), CheckpointPath("d", 99999));
+  // Passing the run's epoch count widens the pad uniformly, restoring
+  // listing order == epoch order for the whole run.
+  const int32_t total = 200000;
+  EXPECT_LT(CheckpointPath("d", 2, total), CheckpointPath("d", 100000, total));
+  EXPECT_LT(CheckpointPath("d", 99999, total),
+            CheckpointPath("d", 100000, total));
+  EXPECT_LT(CheckpointPath("d", 100000, total),
+            CheckpointPath("d", 199999, total));
+  // Runs within the historical pad keep their historical names.
+  EXPECT_EQ(CheckpointPath("d", 42, 100000), CheckpointPath("d", 42));
 }
 
 TEST(CheckpointErrorsTest, MissingFileIsIoError) {

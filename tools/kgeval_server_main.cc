@@ -1,0 +1,113 @@
+// kgeval-server: the evaluation service daemon. Binds the port, prints
+// "LISTENING <port>" (scripts parse this — with --port=0 it is the only
+// way to learn the bound port), then serves until SIGINT/SIGTERM.
+//
+// The wire protocol is documented in docs/PROTOCOL.md; the architecture in
+// docs/ARCHITECTURE.md. Smallest useful session:
+//
+//   $ kgeval-server --port=7471 --preload=codex-s &
+//   $ printf 'EVAL /tmp/ckpt/epoch_00003.ckpt\nQUIT\n' | nc 127.0.0.1 7471
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/command.h"
+#include "service/eval_server.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace kgeval;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host=ADDR] [--port=N] [--threads=N] "
+               "[--executors=N] [--preload=DATASET]\n"
+               "  --host=ADDR      bind address (default 127.0.0.1)\n"
+               "  --port=N         TCP port; 0 picks an ephemeral one "
+               "(default 7471)\n"
+               "  --threads=N      worker-pool width (default: "
+               "KGEVAL_THREADS, then hardware)\n"
+               "  --executors=N    concurrent command cap (default: "
+               "max(2, threads))\n"
+               "  --preload=NAME   run LOAD <NAME> before accepting "
+               "traffic\n",
+               argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  EvalServer::Options options;
+  options.port = 7471;
+  std::string value, preload;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      SetGlobalThreadPoolThreads(
+          static_cast<size_t>(std::atoll(value.c_str())));
+    } else if (ParseFlag(argv[i], "--executors", &value)) {
+      options.executor_threads =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--preload", &value)) {
+      preload = value;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Block the termination signals before any thread exists, so every
+  // thread inherits the mask and sigwait below is the one consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // Broken clients must not kill the server.
+
+  auto server = EvalServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "kgeval-server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  EvalServer& s = *server.ValueOrDie();
+
+  if (!preload.empty()) {
+    ParsedCommand cmd;
+    cmd.spec = FindCommand("LOAD");
+    cmd.args = {preload};
+    bool ok = true;
+    s.service().Execute(cmd, [&ok](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+      ok = line.rfind("OK", 0) == 0;
+      return true;
+    });
+    if (!ok) return 1;
+  }
+
+  std::printf("LISTENING %u\n", s.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  KGEVAL_LOG(Info) << "signal " << sig << ": shutting down";
+  s.Shutdown();
+  return 0;
+}
