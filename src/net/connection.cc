@@ -34,6 +34,15 @@ void Connection::HandleReady(uint32_t events) {
   if (events & kEventWrite) FlushSome();
   if (closed_.load(std::memory_order_acquire)) return;
   if (events & kEventRead) HandleReadable();
+  if (closed_.load(std::memory_order_acquire)) return;
+  if (events & kEventHangup) {
+    // The loop delivers hangup even while reads are paused (server flow
+    // control or the high-water mark), so a vanished peer cannot leave a
+    // throttled connection parked forever. The peer is gone, so buffered
+    // output and any unprocessed pipelined input are undeliverable work:
+    // close now rather than draining them.
+    Close();
+  }
 }
 
 void Connection::HandleReadable() {

@@ -36,9 +36,20 @@ uint32_t ToEpoll(uint32_t events) {
 
 uint32_t FromEpoll(uint32_t e) {
   uint32_t events = 0;
-  if (e & (EPOLLIN | EPOLLHUP | EPOLLERR)) events |= kEventRead;
-  if (e & (EPOLLOUT | EPOLLERR)) events |= kEventWrite;
+  if (e & EPOLLIN) events |= kEventRead;
+  if (e & EPOLLOUT) events |= kEventWrite;
+  // Hangup/error are reported by epoll regardless of the subscription and
+  // carried on their own bit, so dispatch can deliver them to a paused fd
+  // without force-delivering reads (see kEventHangup in event_loop.h).
+  if (e & (EPOLLHUP | EPOLLERR)) events |= kEventHangup;
   return events;
+}
+
+/// epoll's user-data word carries both halves of the dispatch key: the fd
+/// and the registration generation that was live when it was armed.
+uint64_t PackKey(int fd, uint32_t generation) {
+  return (static_cast<uint64_t>(generation) << 32) |
+         static_cast<uint32_t>(fd);
 }
 #endif
 
@@ -75,11 +86,11 @@ EventLoop::~EventLoop() {
 
 void EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
   KGEVAL_CHECK(fds_.find(fd) == fds_.end()) << "fd " << fd << " registered twice";
-  fds_[fd] = Registration{events, std::move(callback)};
+  fds_[fd] = Registration{events, ++next_generation_, std::move(callback)};
 #ifdef KGEVAL_NET_EPOLL
   struct epoll_event ev = {};
   ev.events = ToEpoll(events);
-  ev.data.fd = fd;
+  ev.data.u64 = PackKey(fd, next_generation_);
   KGEVAL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
       << "epoll_ctl(ADD): errno " << errno;
 #endif
@@ -93,7 +104,7 @@ void EventLoop::SetEvents(int fd, uint32_t events) {
 #ifdef KGEVAL_NET_EPOLL
   struct epoll_event ev = {};
   ev.events = ToEpoll(events);
-  ev.data.fd = fd;
+  ev.data.u64 = PackKey(fd, it->second.generation);
   KGEVAL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
       << "epoll_ctl(MOD): errno " << errno;
 #endif
@@ -161,11 +172,17 @@ void EventLoop::PollOnce(int timeout_ms) {
     return;
   }
   for (int i = 0; i < n; ++i) {
-    const int fd = ready[i].data.fd;
-    // The callback for an earlier fd may have Remove()d a later one.
+    const int fd = static_cast<int>(static_cast<uint32_t>(ready[i].data.u64));
+    const uint32_t generation =
+        static_cast<uint32_t>(ready[i].data.u64 >> 32);
+    // The callback for an earlier fd may have Remove()d a later one — or
+    // Remove()d+closed it and accepted a new connection reusing the same
+    // fd number, in which case the generation no longer matches and this
+    // entry's readiness belongs to the dead registration, not the new one.
     auto it = fds_.find(fd);
-    if (it == fds_.end()) continue;
-    const uint32_t events = FromEpoll(ready[i].events) & (it->second.events | kEventRead);
+    if (it == fds_.end() || it->second.generation != generation) continue;
+    const uint32_t events =
+        FromEpoll(ready[i].events) & (it->second.events | kEventHangup);
     if (events == 0) continue;
     // Invoked through a copy: the callback may Remove() its own fd (a
     // connection closing on read error does), which erases the map entry
@@ -175,13 +192,16 @@ void EventLoop::PollOnce(int timeout_ms) {
   }
 #else
   std::vector<struct pollfd> poll_fds;
+  std::vector<uint32_t> generations;
   poll_fds.reserve(fds_.size());
+  generations.reserve(fds_.size());
   for (const auto& [fd, reg] : fds_) {
     struct pollfd p = {};
     p.fd = fd;
     if (reg.events & kEventRead) p.events |= POLLIN;
     if (reg.events & kEventWrite) p.events |= POLLOUT;
     poll_fds.push_back(p);
+    generations.push_back(reg.generation);
   }
   const int n = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
   if (n < 0) {
@@ -189,14 +209,21 @@ void EventLoop::PollOnce(int timeout_ms) {
     return;
   }
   if (n == 0) return;
-  for (const auto& p : poll_fds) {
+  for (size_t i = 0; i < poll_fds.size(); ++i) {
+    const struct pollfd& p = poll_fds[i];
     if (p.revents == 0) continue;
+    // Same stale-entry hazards as the epoll branch: the fd may have been
+    // Remove()d by an earlier callback, or recycled into a brand-new
+    // registration (generation mismatch) within this batch.
     auto it = fds_.find(p.fd);
-    if (it == fds_.end()) continue;
+    if (it == fds_.end() || it->second.generation != generations[i]) {
+      continue;
+    }
     uint32_t events = 0;
-    if (p.revents & (POLLIN | POLLHUP | POLLERR)) events |= kEventRead;
-    if (p.revents & (POLLOUT | POLLERR)) events |= kEventWrite;
-    events &= (it->second.events | kEventRead);
+    if (p.revents & POLLIN) events |= kEventRead;
+    if (p.revents & POLLOUT) events |= kEventWrite;
+    if (p.revents & (POLLHUP | POLLERR | POLLNVAL)) events |= kEventHangup;
+    events &= (it->second.events | kEventHangup);
     if (events == 0) continue;
     // Same self-Remove() hazard as the epoll branch: invoke a copy.
     const FdCallback callback = it->second.callback;

@@ -15,6 +15,13 @@ namespace kgeval {
 enum : uint32_t {
   kEventRead = 1u << 0,
   kEventWrite = 1u << 1,
+  /// Peer hangup / socket error. Not subscribable — the poller reports it
+  /// unconditionally and the loop always delivers it, even to an fd whose
+  /// interest set is empty. That is what lets a connection paused by flow
+  /// control (no read interest) still notice a vanished peer instead of
+  /// sitting parked forever; read/write readiness is never delivered
+  /// unsubscribed.
+  kEventHangup = 1u << 2,
 };
 
 /// A single-threaded readiness event loop over non-blocking fds: epoll on
@@ -65,6 +72,11 @@ class EventLoop {
  private:
   struct Registration {
     uint32_t events = 0;
+    /// Distinguishes this registration from an earlier one on the same fd
+    /// number: within one poll batch a callback may Remove()+close an fd
+    /// while another callback accepts a new connection that reuses it, and
+    /// a stale ready[] entry must not be dispatched to the newcomer.
+    uint32_t generation = 0;
     FdCallback callback;
   };
 
@@ -74,6 +86,7 @@ class EventLoop {
   void Wakeup();
 
   std::unordered_map<int, Registration> fds_;
+  uint32_t next_generation_ = 0;
   int wakeup_read_ = -1;
   int wakeup_write_ = -1;
 #if defined(__linux__) && !defined(KGEVAL_FORCE_POLL)

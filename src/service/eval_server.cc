@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/net_util.h"
+#include "service/command.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -119,6 +120,25 @@ Status EvalServer::Init() {
   if (!listener.ok()) return listener.status();
   listen_fd_ = listener.ValueOrDie().fd;
   port_ = listener.ValueOrDie().port;
+  if (!options_.preload_dataset.empty()) {
+    // The loop thread does not exist yet, so the port is bound but nothing
+    // accepts: the preload genuinely precedes all traffic (clients gate on
+    // the LISTENING line, printed after Start() returns).
+    ParsedCommand cmd;
+    cmd.spec = FindCommand("LOAD");
+    cmd.args = {options_.preload_dataset};
+    std::string reply;
+    service_->Execute(cmd, [&reply](const std::string& line) {
+      reply = line;
+      return true;
+    });
+    if (reply.rfind("OK", 0) != 0) {
+      return Status::FailedPrecondition(
+          StrFormat("preload LOAD %s: %s", options_.preload_dataset.c_str(),
+                    reply.c_str()));
+    }
+    KGEVAL_LOG(Info) << "preload " << reply;
+  }
   // Registered before the loop thread exists, so no concurrent map access.
   loop_.Add(listen_fd_, kEventRead, [this](uint32_t) { HandleAccept(); });
   size_t executors = options_.executor_threads;
@@ -152,10 +172,15 @@ void EvalServer::HandleAccept() {
     client->conn =
         std::make_shared<Connection>(&loop_, fd, options_.connection);
     clients_.insert(client);
+    // Both callbacks capture the Client weakly: Client::conn owns the
+    // Connection, and the Connection stores these callbacks for its whole
+    // life, so a shared capture here would be a shared_ptr cycle that
+    // leaks the pair (and its buffers) on every disconnect. clients_
+    // keeps the Client alive while the connection is open.
     std::weak_ptr<Client> weak = client;
     client->conn->Start(
-        [this, client](std::string_view line, bool overflow) {
-          OnLine(client, line, overflow);
+        [this, weak](std::string_view line, bool overflow) {
+          if (auto c = weak.lock()) OnLine(c, line, overflow);
         },
         [this, weak] {
           if (auto c = weak.lock()) OnClose(c);
@@ -256,7 +281,19 @@ void EvalServer::PumpClient(const std::shared_ptr<Client>& client) {
 
 void EvalServer::Shutdown() {
   if (shut_down_.exchange(true)) return;
-  service_->RequestShutdown();
+  if (service_) service_->RequestShutdown();
+  if (!loop_thread_.joinable()) {
+    // Init failed before the loop thread started (e.g. the bind): no
+    // thread will ever service a Post, so waiting on one would deadlock
+    // the error return. Nothing runs concurrently — clean up inline.
+    if (listen_fd_ >= 0) {
+      loop_.Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (executor_) executor_->Shutdown();
+    return;
+  }
   // Close the listener and every connection from the loop thread, which
   // owns them; closing wakes any executor blocked in BlockingSend.
   std::promise<void> closed;
@@ -274,7 +311,7 @@ void EvalServer::Shutdown() {
   // Executors drain (their emits fail fast now), then stop posting.
   executor_->Shutdown();
   loop_.Stop();
-  if (loop_thread_.joinable()) loop_thread_.join();
+  loop_thread_.join();
 }
 
 }  // namespace kgeval

@@ -44,6 +44,10 @@ class EvalServer {
     /// Pipelined requests buffered per connection before its reads pause
     /// (the request-side counterpart of the byte high-water mark).
     size_t max_queued_commands = 1024;
+    /// When non-empty, Start() runs `LOAD <preload_dataset>` to completion
+    /// before the accept loop exists, so the first client can never
+    /// observe a no-dataset window; a failed preload fails Start().
+    std::string preload_dataset;
     ConnectionOptions connection;
     EvalService::Options service;
   };

@@ -352,6 +352,34 @@ TEST(ConnectionTest, CloseWhenDrainedFlushesEverythingThenCloses) {
   EXPECT_EQ(n, 0);
 }
 
+TEST(ConnectionTest, PausedReadsDeliverNothingUntilResume) {
+  LoopThread loop;
+  ConnectionHarness h(&loop);
+  ASSERT_TRUE(loop.Posted([&] { h.conn()->PauseReads(); }));
+  h.WriteToPeer("early\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Read readiness must not be force-delivered to an unsubscribed fd.
+  EXPECT_TRUE(h.lines().empty());
+  ASSERT_TRUE(loop.Posted([&] { h.conn()->ResumeReads(); }));
+  ASSERT_TRUE(h.WaitForLines(1));
+  EXPECT_EQ(h.lines(), (std::vector<std::string>{"early"}));
+}
+
+TEST(ConnectionTest, HangupClosesPausedConnectionWithoutDeliveringLines) {
+  LoopThread loop;
+  ConnectionHarness h(&loop);
+  ASSERT_TRUE(loop.Posted([&] { h.conn()->PauseReads(); }));
+  h.WriteToPeer("past-the-pause\n");
+  h.ClosePeer();
+  // Hangup reaches the connection despite the empty interest set: a
+  // flow-controlled connection whose peer vanished must close rather
+  // than sit parked forever...
+  EXPECT_TRUE(h.WaitForClose());
+  // ...and must not process input past the pause on the way out (the
+  // replies would be undeliverable anyway).
+  EXPECT_TRUE(h.lines().empty());
+}
+
 TEST(ConnectionTest, PeerDisconnectFiresCloseCallback) {
   LoopThread loop;
   ConnectionHarness h(&loop);

@@ -15,6 +15,7 @@
 
 #include "models/checkpoint.h"
 #include "models/trainer.h"
+#include "net/net_util.h"
 #include "service/command.h"
 #include "service/eval_server.h"
 #include "service/line_client.h"
@@ -448,6 +449,38 @@ TEST(ServiceColdStartTest, EvaluationVerbsRequireLoadFirst) {
   }
   ASSERT_TRUE(client.SendLine("PING").ok());
   EXPECT_EQ(client.ReadReply().ValueOrDie().back(), "OK pong");
+}
+
+TEST(ServiceStartupTest, StartFailsCleanlyWhenPortIsTaken) {
+  auto taken = CreateTcpListener("127.0.0.1", 0);
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  EvalServer::Options options;
+  options.port = taken.ValueOrDie().port;
+  // The failed bind must surface as a Status: the error return destroys a
+  // half-initialized server (no loop thread, no executors), and its
+  // Shutdown() must not post to — and wait on — a loop nobody runs.
+  auto server = EvalServer::Start(options);
+  EXPECT_FALSE(server.ok());
+  ::close(taken.ValueOrDie().fd);
+}
+
+TEST(ServiceStartupTest, PreloadFailureFailsStart) {
+  EvalServer::Options options;
+  options.preload_dataset = "no-such-preset";
+  auto server = EvalServer::Start(options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_NE(server.status().ToString().find("preload"), std::string::npos)
+      << server.status().ToString();
+}
+
+TEST(ServiceStartupTest, PreloadCompletesBeforeStartReturns) {
+  EvalServer::Options options;
+  options.preload_dataset = "codex-s";
+  auto server = EvalServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  // Start() returning means the preload LOAD already finished: the first
+  // client can never observe a no-dataset window.
+  EXPECT_EQ(server.ValueOrDie()->service().loaded_name(), "codex-s");
 }
 
 TEST_F(ServiceTest, StatsReportsDatasetAndCounters) {

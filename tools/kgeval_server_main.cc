@@ -15,7 +15,6 @@
 #include <cstring>
 #include <string>
 
-#include "service/command.h"
 #include "service/eval_server.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -52,7 +51,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int main(int argc, char** argv) {
   EvalServer::Options options;
   options.port = 7471;
-  std::string value, preload;
+  std::string value;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argv[i], "--host", &value)) {
       options.host = value;
@@ -65,7 +64,7 @@ int main(int argc, char** argv) {
       options.executor_threads =
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--preload", &value)) {
-      preload = value;
+      options.preload_dataset = value;
     } else {
       Usage(argv[0]);
       return 2;
@@ -81,6 +80,8 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
   signal(SIGPIPE, SIG_IGN);  // Broken clients must not kill the server.
 
+  // --preload runs inside Start(), before the accept loop exists, so a
+  // client connecting after LISTENING can never see a no-dataset window.
   auto server = EvalServer::Start(options);
   if (!server.ok()) {
     std::fprintf(stderr, "kgeval-server: %s\n",
@@ -88,19 +89,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   EvalServer& s = *server.ValueOrDie();
-
-  if (!preload.empty()) {
-    ParsedCommand cmd;
-    cmd.spec = FindCommand("LOAD");
-    cmd.args = {preload};
-    bool ok = true;
-    s.service().Execute(cmd, [&ok](const std::string& line) {
-      std::printf("%s\n", line.c_str());
-      ok = line.rfind("OK", 0) == 0;
-      return true;
-    });
-    if (!ok) return 1;
-  }
 
   std::printf("LISTENING %u\n", s.port());
   std::fflush(stdout);
