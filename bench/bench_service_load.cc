@@ -132,7 +132,9 @@ struct ClientRun {
   std::vector<double> ping_latencies_ms;
   std::vector<double> eval_latencies_ms;
   std::vector<std::string> eval_replies;  // terminal lines, in send order
+  std::vector<size_t> eval_ckpts;         // ckpt index of each reply above
   int errors = 0;
+  int shed = 0;  // `ERR busy` replies: backpressure, not protocol errors
   std::string failure;  // transport-level failure, "" when clean
 };
 
@@ -157,6 +159,7 @@ ClientRun RunClient(const std::string& host, uint16_t port,
 
   struct Pending {
     bool is_eval = false;
+    size_t ckpt = 0;
     double sent_s = 0.0;
   };
   std::vector<Pending> pending;
@@ -171,7 +174,8 @@ ClientRun RunClient(const std::string& host, uint16_t port,
       std::string line;
       Pending p;
       if (slot == 0) {
-        line = "EVAL " + ckpts[static_cast<size_t>(sent / 4) % ckpts.size()];
+        p.ckpt = static_cast<size_t>(sent / 4) % ckpts.size();
+        line = "EVAL " + ckpts[p.ckpt];
         p.is_eval = true;
       } else if (slot == 2) {
         line = "STATS";
@@ -196,11 +200,23 @@ ClientRun RunClient(const std::string& host, uint16_t port,
     const Pending p = pending.front();
     pending.erase(pending.begin());
     const std::string& terminal = reply.ValueOrDie().back();
-    if (terminal.rfind("ERR", 0) == 0) ++run.errors;
+    // A shed (`ERR busy`) is the server bounding its backlog, not a
+    // protocol violation: counted separately, excluded from the parity
+    // set (there is no metric reply to compare), and it does not trip
+    // the zero-errors gate.
+    const bool is_shed = LineClient::ErrorCode(terminal) == "busy";
+    if (is_shed) {
+      ++run.shed;
+    } else if (terminal.rfind("ERR", 0) == 0) {
+      ++run.errors;
+    }
     const double latency_ms = (now_s - p.sent_s) * 1e3;
     if (p.is_eval) {
-      run.eval_latencies_ms.push_back(latency_ms);
-      run.eval_replies.push_back(terminal);
+      if (!is_shed) {
+        run.eval_latencies_ms.push_back(latency_ms);
+        run.eval_replies.push_back(terminal);
+        run.eval_ckpts.push_back(p.ckpt);
+      }
     } else {
       run.ping_latencies_ms.push_back(latency_ms);
     }
@@ -220,6 +236,7 @@ struct BenchResult {
   double eval_p50_ms = 0.0, eval_p99_ms = 0.0;
   int64_t evals = 0;
   int errors = 0;
+  int shed = 0;
   bool parity = false;
 };
 
@@ -236,10 +253,11 @@ void WriteJson(const BenchResult& r) {
       "\"pipeline\": %d, \"wall_s\": %.6f, \"req_per_s\": %.2f, "
       "\"ping_p50_ms\": %.3f, \"ping_p99_ms\": %.3f, \"eval_p50_ms\": %.3f, "
       "\"eval_p99_ms\": %.3f, \"evals\": %lld, \"protocol_errors\": %d, "
-      "\"parity\": %s}\n}\n",
+      "\"shed\": %d, \"parity\": %s}\n}\n",
       r.clients, r.requests_per_client, r.pipeline, r.wall_s, r.req_per_s,
       r.ping_p50_ms, r.ping_p99_ms, r.eval_p50_ms, r.eval_p99_ms,
-      static_cast<long long>(r.evals), r.errors, r.parity ? "true" : "false");
+      static_cast<long long>(r.evals), r.errors, r.shed,
+      r.parity ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -356,6 +374,7 @@ int main(int argc, char** argv) {
       transport_ok = false;
     }
     result.errors += run.errors;
+    result.shed += run.shed;
     ping_ms.insert(ping_ms.end(), run.ping_latencies_ms.begin(),
                    run.ping_latencies_ms.end());
     eval_ms.insert(eval_ms.end(), run.eval_latencies_ms.begin(),
@@ -399,8 +418,8 @@ int main(int argc, char** argv) {
           static_cast<long long>(r.metrics.num_queries),
           static_cast<long long>(r.scored_candidates));
     }
-    // Every client's i-th EVAL hit ckpts[i % size], so served replies can
-    // be checked per client in send order.
+    // Each recorded reply carries the checkpoint index it was sent for
+    // (shed EVALs recorded nothing), so the comparison survives gaps.
     for (const ClientRun& run : runs) {
       for (size_t i = 0; parity && i < run.eval_replies.size(); ++i) {
         const std::string& line = run.eval_replies[i];
@@ -409,7 +428,7 @@ int main(int argc, char** argv) {
                                 kv["hits1"] + "|" + kv["hits3"] + "|" +
                                 kv["hits10"] + "|" + kv["queries"] + "|" +
                                 kv["scored"];
-        const std::string& want = expected[ckpts[i % ckpts.size()]];
+        const std::string& want = expected[ckpts[run.eval_ckpts[i]]];
         if (got != want) {
           std::printf("PARITY MISMATCH\n  served: %s\n  direct: %s\n",
                       got.c_str(), want.c_str());
@@ -428,6 +447,7 @@ int main(int argc, char** argv) {
   table.AddRow({"EVAL p50 (ms)", bench::F(result.eval_p50_ms, 1)});
   table.AddRow({"EVAL p99 (ms)", bench::F(result.eval_p99_ms, 1)});
   table.AddRow({"protocol errors", std::to_string(result.errors)});
+  table.AddRow({"shed (ERR busy)", std::to_string(result.shed)});
   table.AddRow({"served-vs-direct parity",
                 parity ? "byte-identical" : "PARITY MISMATCH"});
   std::printf("%s", table.ToString().c_str());

@@ -39,6 +39,7 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
   SampledEvalOptions eval_options;
   eval_options.tie = options.tie;
   eval_options.prepared_pools = options.prepared_pools;
+  eval_options.cancel = options.cancel;
 
   const double z = TwoSidedZ(options.confidence);
   const int64_t query_budget = options.max_triples > 0
@@ -56,6 +57,9 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
   std::vector<SlotBlock> round_blocks;
   size_t next_query = 0;
   while (next_query < order.size()) {
+    // The between-rounds cancellation poll; blocks inside a round bail in
+    // ScoreSlotBlocks through eval_options.cancel.
+    if (options.cancel != nullptr && options.cancel->cancelled()) break;
     if (acc.count() >= query_budget) break;
     // The candidate budget is checked between rounds: the round that
     // crosses it is finished (at most one round of overshoot).
@@ -109,6 +113,13 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
     round_group.Wait();
     result.scored_candidates += scored.load();
 
+    // A cancel that landed mid-round left part of this round's ranks
+    // unscored (0.0); folding them would poison the accumulator, so the
+    // whole round is dropped — the accumulator then holds only fully
+    // scored rounds and the (discarded-by-callers) partial metrics below
+    // stay well-defined.
+    if (options.cancel != nullptr && options.cancel->cancelled()) break;
+
     // Fold the round's ranks in schedule order: the scored ranks are
     // bit-identical however the chunks were threaded, so the accumulator —
     // and with it the stopping decision — is reproducible.
@@ -130,6 +141,9 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
     }
   }
 
+  result.cancelled =
+      options.cancel != nullptr && options.cancel->cancelled();
+  if (result.cancelled) result.converged = false;
   result.evaluated_queries = acc.count();
   result.metrics = acc.Metrics();
   result.ci = acc.Ci(z);

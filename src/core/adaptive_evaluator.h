@@ -40,6 +40,11 @@ struct AdaptiveEvalOptions {
   uint64_t shuffle_seed = 29;
   /// Same engine switch as SampledEvalOptions::prepared_pools.
   bool prepared_pools = true;
+  /// Cooperative cancellation, polled between rounds and (through the
+  /// shared ScoreSlotBlocks) between query blocks within a round. A
+  /// cancelled pass reports `cancelled` on its result; its metrics are
+  /// partial and must be discarded.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of an adaptive evaluation pass. `metrics`/`ci` cover the queries
@@ -68,6 +73,9 @@ struct AdaptiveEvalResult {
   /// coverage — the estimate *is* the full pass); a budget stop always
   /// reports false.
   bool converged = false;
+  /// True when AdaptiveEvalOptions::cancel fired mid-pass (never converged
+  /// in that case); the partial result must be discarded.
+  bool cancelled = false;
   double eval_seconds = 0.0;
   /// The target metric's half-width after every round; shrinks ~1/sqrt(n)
   /// as rounds accumulate. Useful for convergence plots and tests.

@@ -23,7 +23,7 @@ std::vector<Outcome> SweepCheckpoints(
     const EvaluationFramework& framework,
     const std::vector<std::string>& paths, const Eval& eval,
     const std::function<void(size_t, const Outcome&)>& progress,
-    CheckpointSweepStats* stats) {
+    CheckpointSweepStats* stats, const CancelToken* cancel) {
   WallTimer timer;
   std::vector<Outcome> outcomes(paths.size());
   std::atomic<size_t> resident{0};
@@ -31,24 +31,36 @@ std::vector<Outcome> SweepCheckpoints(
   std::atomic<size_t> failed{0};
   std::mutex progress_mutex;
   RunJobsConcurrently(paths.size(), [&](size_t i) {
-    // Counted resident across the load itself: a model being deserialized
-    // already occupies its full embedding tables, so the high-water mark
-    // must see it before LoadCheckpoint returns.
-    const size_t now = resident.fetch_add(1) + 1;
-    size_t seen = high_water.load();
-    while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
-    }
-    auto model_or = framework.LoadCheckpoint(paths[i]);
-    if (!model_or.ok()) {
-      resident.fetch_sub(1);
-      outcomes[i].status = model_or.status();
+    // Checked before the load so a cancelled sweep stops paying the
+    // expensive part immediately; passes already in flight wind down
+    // through the token threaded into eval().
+    if (cancel != nullptr && cancel->cancelled()) {
+      outcomes[i].status = Status::Cancelled("sweep cancelled");
       failed.fetch_add(1, std::memory_order_relaxed);
     } else {
-      std::unique_ptr<KgeModel> model = std::move(model_or).ValueOrDie();
-      outcomes[i].result = eval(*model);
-      model.reset();  // Freed before progress runs: the callback must
-                      // never extend a model's residency.
-      resident.fetch_sub(1);
+      // Counted resident across the load itself: a model being
+      // deserialized already occupies its full embedding tables, so the
+      // high-water mark must see it before LoadCheckpoint returns.
+      const size_t now = resident.fetch_add(1) + 1;
+      size_t seen = high_water.load();
+      while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+      }
+      auto model_or = framework.LoadCheckpoint(paths[i]);
+      if (!model_or.ok()) {
+        resident.fetch_sub(1);
+        outcomes[i].status = model_or.status();
+        failed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::unique_ptr<KgeModel> model = std::move(model_or).ValueOrDie();
+        outcomes[i].result = eval(*model);
+        model.reset();  // Freed before progress runs: the callback must
+                        // never extend a model's residency.
+        resident.fetch_sub(1);
+        if (outcomes[i].result.cancelled) {
+          outcomes[i].status = Status::Cancelled("evaluation cancelled");
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
     if (progress) {
       std::lock_guard<std::mutex> lock(progress_mutex);
@@ -93,9 +105,10 @@ std::unique_ptr<EvalSession> EvalSession::Adopt(
 }
 
 SampledEvalResult EvalSession::Estimate(const KgeModel& model,
-                                        int64_t max_triples) const {
+                                        int64_t max_triples,
+                                        const CancelToken* cancel) const {
   return framework_->EstimateOnPools(model, *filter_, split_, pools_,
-                                     max_triples);
+                                     max_triples, cancel);
 }
 
 std::vector<SampledEvalResult> EvalSession::EstimateMany(
@@ -109,9 +122,10 @@ std::vector<SampledEvalResult> EvalSession::EstimateMany(
 }
 
 AdaptiveEvalResult EvalSession::EstimateAdaptive(
-    const KgeModel& model, const AdaptiveEvalOptions& adaptive) const {
+    const KgeModel& model, const AdaptiveEvalOptions& adaptive,
+    const CancelToken* cancel) const {
   return framework_->EstimateAdaptiveOnPools(model, *filter_, split_, pools_,
-                                             adaptive);
+                                             adaptive, cancel);
 }
 
 std::vector<AdaptiveEvalResult> EvalSession::EstimateAdaptiveMany(
@@ -127,22 +141,27 @@ std::vector<AdaptiveEvalResult> EvalSession::EstimateAdaptiveMany(
 
 std::vector<CheckpointEstimate> EvalSession::EstimateCheckpoints(
     const std::vector<std::string>& paths, int64_t max_triples,
-    const CheckpointProgressFn& progress, CheckpointSweepStats* stats) const {
+    const CheckpointProgressFn& progress, CheckpointSweepStats* stats,
+    const CancelToken* cancel) const {
   return SweepCheckpoints<CheckpointEstimate>(
       *framework_, paths,
-      [&](const KgeModel& model) { return Estimate(model, max_triples); },
-      progress, stats);
+      [&](const KgeModel& model) {
+        return Estimate(model, max_triples, cancel);
+      },
+      progress, stats, cancel);
 }
 
 std::vector<CheckpointAdaptiveEstimate> EvalSession::EstimateAdaptiveCheckpoints(
     const std::vector<std::string>& paths,
     const AdaptiveEvalOptions& adaptive,
-    const CheckpointAdaptiveProgressFn& progress,
-    CheckpointSweepStats* stats) const {
+    const CheckpointAdaptiveProgressFn& progress, CheckpointSweepStats* stats,
+    const CancelToken* cancel) const {
   return SweepCheckpoints<CheckpointAdaptiveEstimate>(
       *framework_, paths,
-      [&](const KgeModel& model) { return EstimateAdaptive(model, adaptive); },
-      progress, stats);
+      [&](const KgeModel& model) {
+        return EstimateAdaptive(model, adaptive, cancel);
+      },
+      progress, stats, cancel);
 }
 
 void EvalSession::RedrawPools() { pools_ = framework_->DrawPools(split_); }

@@ -78,8 +78,10 @@ class EvalSession {
 
   /// Estimates `model` on the pinned pools. Repeated calls score identical
   /// pools; `max_triples` (0 = all) as in EvaluationFramework::Estimate.
-  SampledEvalResult Estimate(const KgeModel& model,
-                             int64_t max_triples = 0) const;
+  /// `cancel` (optional, must outlive the call) aborts the pass at the next
+  /// block boundary; the result comes back flagged `cancelled`.
+  SampledEvalResult Estimate(const KgeModel& model, int64_t max_triples = 0,
+                             const CancelToken* cancel = nullptr) const;
 
   /// Estimates every model concurrently against the pinned pools; result i
   /// is bit-identical (rank-for-rank) to Estimate(*models[i], max_triples).
@@ -91,7 +93,8 @@ class EvalSession {
   /// `adaptive.shuffle_seed`; the framework's tie-break overrides
   /// `adaptive.tie`).
   AdaptiveEvalResult EstimateAdaptive(
-      const KgeModel& model, const AdaptiveEvalOptions& adaptive = {}) const;
+      const KgeModel& model, const AdaptiveEvalOptions& adaptive = {},
+      const CancelToken* cancel = nullptr) const;
 
   /// Adaptive counterpart of EstimateMany: per-model results bit-identical
   /// to sequential EstimateAdaptive calls with the same options.
@@ -116,20 +119,28 @@ class EvalSession {
   /// sequential LoadModel + Estimate on paths[i]; a path that fails to load
   /// carries its Status in the outcome without disturbing the rest of the
   /// sweep. `progress` (optional) streams outcomes as they complete;
-  /// `stats` (optional) receives sweep-level instrumentation.
+  /// `stats` (optional) receives sweep-level instrumentation. A `cancel`
+  /// token fired mid-sweep stops new work cooperatively: paths not yet
+  /// loaded record Status(kCancelled) without loading, in-flight passes
+  /// wind down at their next block boundary and record kCancelled too, and
+  /// already-finished outcomes keep their results. Cancelled outcomes count
+  /// into stats->failed and still stream through `progress`.
   std::vector<CheckpointEstimate> EstimateCheckpoints(
       const std::vector<std::string>& paths, int64_t max_triples = 0,
       const CheckpointProgressFn& progress = nullptr,
-      CheckpointSweepStats* stats = nullptr) const;
+      CheckpointSweepStats* stats = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// Adaptive counterpart of EstimateCheckpoints: each snapshot is
   /// evaluated with EstimateAdaptive's confidence-bounded pass, same
-  /// bounded-resident loading and per-path error semantics.
+  /// bounded-resident loading, per-path error semantics, and cancellation
+  /// contract.
   std::vector<CheckpointAdaptiveEstimate> EstimateAdaptiveCheckpoints(
       const std::vector<std::string>& paths,
       const AdaptiveEvalOptions& adaptive = {},
       const CheckpointAdaptiveProgressFn& progress = nullptr,
-      CheckpointSweepStats* stats = nullptr) const;
+      CheckpointSweepStats* stats = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   /// Replaces the pinned pools with a fresh draw (advancing the framework's
   /// RNG). Estimates before and after are *not* comparable draw-wise — call

@@ -69,10 +69,12 @@ SampledEvalResult EvaluationFramework::Estimate(const KgeModel& model,
 
 SampledEvalResult EvaluationFramework::EstimateOnPools(
     const KgeModel& model, const FilterIndex& filter, Split split,
-    const SampledCandidates& pools, int64_t max_triples) const {
+    const SampledCandidates& pools, int64_t max_triples,
+    const CancelToken* cancel) const {
   SampledEvalOptions eval_options;
   eval_options.tie = options_.tie;
   eval_options.max_triples = max_triples;
+  eval_options.cancel = cancel;
   return EvaluateSampled(model, *dataset_, filter, split, pools,
                          eval_options);
 }
@@ -86,10 +88,11 @@ AdaptiveEvalResult EvaluationFramework::EstimateAdaptive(
 
 AdaptiveEvalResult EvaluationFramework::EstimateAdaptiveOnPools(
     const KgeModel& model, const FilterIndex& filter, Split split,
-    const SampledCandidates& pools,
-    const AdaptiveEvalOptions& adaptive) const {
+    const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive,
+    const CancelToken* cancel) const {
   AdaptiveEvalOptions eval_options = adaptive;
   eval_options.tie = options_.tie;
+  if (cancel != nullptr) eval_options.cancel = cancel;
   return EvaluateAdaptive(model, *dataset_, filter, split, pools,
                           eval_options);
 }
@@ -125,22 +128,37 @@ Result<std::unique_ptr<KgeModel>> EvaluationFramework::LoadCheckpoint(
 
 Result<SampledEvalResult> EvaluationFramework::EstimateCheckpointOnPools(
     const std::string& path, const FilterIndex& filter, Split split,
-    const SampledCandidates& pools, int64_t max_triples) const {
+    const SampledCandidates& pools, int64_t max_triples,
+    const CancelToken* cancel) const {
+  // Checked before the load (the expensive part most worth skipping) and
+  // again on the pass result, so a token that fires at any point turns the
+  // call into kCancelled instead of returning partial metrics.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("cancelled before checkpoint load");
+  }
   auto model_or = LoadCheckpoint(path);
   if (!model_or.ok()) return model_or.status();
-  return EstimateOnPools(*model_or.ValueOrDie(), filter, split, pools,
-                         max_triples);
+  SampledEvalResult result = EstimateOnPools(*model_or.ValueOrDie(), filter,
+                                             split, pools, max_triples,
+                                             cancel);
+  if (result.cancelled) return Status::Cancelled("evaluation cancelled");
+  return {std::move(result)};
 }
 
 Result<AdaptiveEvalResult>
 EvaluationFramework::EstimateAdaptiveCheckpointOnPools(
     const std::string& path, const FilterIndex& filter, Split split,
-    const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive)
-    const {
+    const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive,
+    const CancelToken* cancel) const {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("cancelled before checkpoint load");
+  }
   auto model_or = LoadCheckpoint(path);
   if (!model_or.ok()) return model_or.status();
-  return EstimateAdaptiveOnPools(*model_or.ValueOrDie(), filter, split,
-                                 pools, adaptive);
+  AdaptiveEvalResult result = EstimateAdaptiveOnPools(
+      *model_or.ValueOrDie(), filter, split, pools, adaptive, cancel);
+  if (result.cancelled) return Status::Cancelled("evaluation cancelled");
+  return {std::move(result)};
 }
 
 }  // namespace kgeval

@@ -59,10 +59,13 @@ class EvaluationFramework {
   /// calls are comparable — rank differences between models are model
   /// differences, not pool-draw noise. Const and thread-safe: concurrent
   /// calls with different models are how EvalSession::EstimateMany runs.
+  /// `cancel` (optional, must outlive the call) aborts the pass at the next
+  /// block boundary; the result comes back flagged `cancelled`.
   SampledEvalResult EstimateOnPools(const KgeModel& model,
                                     const FilterIndex& filter, Split split,
                                     const SampledCandidates& pools,
-                                    int64_t max_triples = 0) const;
+                                    int64_t max_triples = 0,
+                                    const CancelToken* cancel = nullptr) const;
 
   /// Confidence-bounded variant of Estimate: draws fresh pools the same way
   /// and runs EvaluateAdaptive over them, stopping as soon as the target
@@ -73,12 +76,13 @@ class EvaluationFramework {
                                       const FilterIndex& filter, Split split,
                                       const AdaptiveEvalOptions& adaptive = {});
 
-  /// EstimateAdaptive() on caller-provided pools; same pinning semantics
-  /// and thread-safety as EstimateOnPools.
+  /// EstimateAdaptive() on caller-provided pools; same pinning semantics,
+  /// thread-safety, and cancellation contract as EstimateOnPools (the
+  /// `cancel` argument overrides `adaptive.cancel` when non-null).
   AdaptiveEvalResult EstimateAdaptiveOnPools(
       const KgeModel& model, const FilterIndex& filter, Split split,
-      const SampledCandidates& pools,
-      const AdaptiveEvalOptions& adaptive = {}) const;
+      const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive = {},
+      const CancelToken* cancel = nullptr) const;
 
   /// Loads the checkpoint at `path` (models/checkpoint.h) and validates it
   /// against the framework's dataset: mismatched entity/relation counts
@@ -97,16 +101,20 @@ class EvaluationFramework {
   /// service request naming one path) that don't need a sweep's residency
   /// accounting. A load failure (missing, corrupt, or truncated file) or a
   /// dataset mismatch comes back as the Status, never a crash. Const and
-  /// thread-safe like EstimateOnPools.
+  /// thread-safe like EstimateOnPools. A `cancel` token that fires before
+  /// the load or during the pass turns the whole call into
+  /// Status(kCancelled) — a cancelled pass's partial metrics are never
+  /// returned.
   Result<SampledEvalResult> EstimateCheckpointOnPools(
       const std::string& path, const FilterIndex& filter, Split split,
-      const SampledCandidates& pools, int64_t max_triples = 0) const;
+      const SampledCandidates& pools, int64_t max_triples = 0,
+      const CancelToken* cancel = nullptr) const;
 
   /// Adaptive counterpart of EstimateCheckpointOnPools.
   Result<AdaptiveEvalResult> EstimateAdaptiveCheckpointOnPools(
       const std::string& path, const FilterIndex& filter, Split split,
-      const SampledCandidates& pools,
-      const AdaptiveEvalOptions& adaptive = {}) const;
+      const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive = {},
+      const CancelToken* cancel = nullptr) const;
 
   /// Resolved per-slot sample count n_s.
   int64_t SampleSize() const;

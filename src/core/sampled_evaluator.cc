@@ -55,6 +55,10 @@ int64_t ScoreSlotBlocks(const KgeModel& model,
                         SlotBlockScratch* scratch, double* ranks) {
   int64_t scored = 0;
   for (size_t b = begin; b < end; ++b) {
+    // The cancellation poll: one relaxed load per ~256-query block. A
+    // cancelled pass stops scoring here — worker tasks drain in one block
+    // instead of being orphaned mid-evaluation.
+    if (options.cancel != nullptr && options.cancel->cancelled()) break;
     const SlotBlock& block = blocks[b];
     const bool tail_dir = block.direction == QueryDirection::kTail;
     const int32_t slot = SlotOf(block, num_relations);
@@ -157,9 +161,17 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
   });
   group.Wait();
 
+  result.cancelled =
+      options.cancel != nullptr && options.cancel->cancelled();
   result.scored_candidates = scored.load();
-  result.metrics = RankingMetrics::FromRanks(result.ranks);
-  FillCi(options.ci_confidence, &result);
+  // A cancelled pass abandoned some blocks, leaving their ranks at 0.0 —
+  // metrics over partial ranks would be garbage (and rank 0 is outside the
+  // accumulator's domain), so they stay zeroed; callers discard a
+  // cancelled result.
+  if (!result.cancelled) {
+    result.metrics = RankingMetrics::FromRanks(result.ranks);
+    FillCi(options.ci_confidence, &result);
+  }
   result.eval_seconds = timer.Seconds();
   return result;
 }

@@ -7,6 +7,7 @@
 #include "eval/slot_blocks.h"
 #include "graph/dataset.h"
 #include "models/kge_model.h"
+#include "util/cancel.h"
 
 namespace kgeval {
 
@@ -29,6 +30,11 @@ struct SampledEvalOptions {
   bool prepared_pools = true;
   /// Confidence level of the RankingCi reported with the result.
   double ci_confidence = 0.95;
+  /// Cooperative cancellation, polled between query blocks (not borrowed —
+  /// must outlive the pass). A cancelled pass winds down at the next block
+  /// boundary and flags its result `cancelled`; the partial metrics are
+  /// meaningless and must be discarded by the caller.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of estimating the ranking metrics from sampled candidate pools.
@@ -42,6 +48,9 @@ struct SampledEvalResult {
   double eval_seconds = 0.0;    // Scoring + ranking time.
   double sample_seconds = 0.0;  // Copied from the SampledCandidates.
   int64_t scored_candidates = 0;
+  /// True when SampledEvalOptions::cancel fired mid-pass: the pass ended
+  /// early, metrics/ranks are partial garbage, discard everything.
+  bool cancelled = false;
 };
 
 /// Per-thread scratch for ScoreSlotBlocks. Buffers grow on demand (never

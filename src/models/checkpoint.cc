@@ -5,6 +5,7 @@
 #include <fstream>
 #include <type_traits>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace kgeval {
@@ -169,7 +170,12 @@ Status SaveModel(KgeModel* model, const std::string& path) {
   // The final write can succeed into the stream buffer while the bytes
   // never reach the disk (ENOSPC, quota): only a flush + close forces the
   // data out where the failure becomes observable on the stream state.
+  // Fault point "io.checkpoint.write" injects exactly that late failure.
   out.flush();
+  if (FaultPoint("io.checkpoint.write")) {
+    return Status::IoError(
+        StrFormat("short write to %s (injected fault)", path.c_str()));
+  }
   if (!out.good()) {
     return Status::IoError(StrFormat("short write to %s", path.c_str()));
   }
@@ -212,6 +218,13 @@ Status RestoreParameters(KgeModel* model, std::ifstream& in,
                   header.num_params, params.size()));
   }
   for (auto& param : params) {
+    // Fault point "io.checkpoint.read": a parameter read fails as if the
+    // file were truncated under us — what a torn copy or a failing disk
+    // produces. Sweeps must turn this into a per-item error, never a
+    // crashed pass (chaos_test).
+    if (FaultPoint("io.checkpoint.read")) {
+      return Status::IoError("truncated parameter data (injected fault)");
+    }
     std::string name;
     if (!ReadString(in, &name)) {
       return Status::IoError("truncated parameter name");
@@ -244,6 +257,14 @@ Status RestoreParameters(KgeModel* model, std::ifstream& in,
 }  // namespace
 
 Result<std::unique_ptr<KgeModel>> LoadModel(const std::string& path) {
+  // Fault point "io.checkpoint.open": the open fails with an injected
+  // errno — armed with ENOENT it reproduces the sweep TOCTOU exactly (file
+  // listed, then deleted before the open).
+  int injected = 0;
+  if (FaultPoint("io.checkpoint.open", &injected)) {
+    return Status::IoError(StrFormat("cannot open %s: %s (injected fault)",
+                                     path.c_str(), strerror(injected)));
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IoError(StrFormat("cannot open %s", path.c_str()));

@@ -6,6 +6,7 @@
 
 #include <utility>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace kgeval {
@@ -46,6 +47,13 @@ void Connection::HandleReady(uint32_t events) {
 }
 
 void Connection::HandleReadable() {
+  // Fault point "net.recv.close": the peer vanishes mid-line. Everything
+  // buffered (partial input line, queued replies) becomes undeliverable at
+  // once — the same teardown path a real RST exercises.
+  if (FaultPoint("net.recv.close")) {
+    Close();
+    return;
+  }
   char buf[16 * 1024];
   while (true) {
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
@@ -151,11 +159,19 @@ void Connection::FlushSome() {
     std::lock_guard<std::mutex> lock(out_mutex_);
     if (closed_.load(std::memory_order_acquire)) return;
     while (out_head_ < out_.size()) {
+      // Fault point "net.send.eagain": the socket pretends to be full, so
+      // the rest of the buffer waits for (real) write readiness — the
+      // deferred-flush path a genuinely slow peer exercises.
+      if (FaultPoint("net.send.eagain")) break;
+      // Fault point "net.send.short_write": the kernel accepts one byte,
+      // forcing the partial-progress bookkeeping through every reply byte.
+      size_t chunk = out_.size() - out_head_;
+      if (FaultPoint("net.send.short_write")) chunk = 1;
       // send(MSG_NOSIGNAL), not write(): a peer that vanished mid-reply
       // must surface as EPIPE here, not as a process-killing SIGPIPE —
       // the server also runs embedded in tests and benches.
-      const ssize_t n = ::send(fd_, out_.data() + out_head_,
-                               out_.size() - out_head_, MSG_NOSIGNAL);
+      const ssize_t n =
+          ::send(fd_, out_.data() + out_head_, chunk, MSG_NOSIGNAL);
       if (n > 0) {
         out_head_ += static_cast<size_t>(n);
         continue;

@@ -5,9 +5,11 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <thread>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 #if defined(__linux__) && !defined(KGEVAL_FORCE_POLL)
@@ -123,11 +125,54 @@ void EventLoop::Run() {
   loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   stop_ = false;
   while (!stop_) {
-    PollOnce(/*timeout_ms=*/200);
+    PollOnce(NextTimeoutMs(/*cap_ms=*/200));
+    FireDueTimers();
     RunPosted();
     if (stop_requested_.exchange(false)) stop_ = true;
   }
   loop_thread_.store(std::thread::id(), std::memory_order_release);
+}
+
+uint64_t EventLoop::RunAfter(double delay_s, std::function<void()> fn) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(delay_s < 0 ? 0 : delay_s));
+  const uint64_t id = ++next_timer_id_;
+  timers_.emplace(std::make_pair(deadline, id), std::move(fn));
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.second == id) {
+      timers_.erase(it);
+      return;
+    }
+  }
+}
+
+int EventLoop::NextTimeoutMs(int cap_ms) const {
+  if (timers_.empty()) return cap_ms;
+  const auto now = std::chrono::steady_clock::now();
+  const auto first = timers_.begin()->first.first;
+  if (first <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(first - now)
+          .count() +
+      1;  // Round up: waking a hair early would spin until the deadline.
+  return ms < cap_ms ? static_cast<int>(ms) : cap_ms;
+}
+
+void EventLoop::FireDueTimers() {
+  // Extract-then-run, one at a time: a timer callback may arm new timers
+  // or cancel pending ones, so no iterator survives the call.
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.begin()->first.first <= now) {
+    std::function<void()> fn = std::move(timers_.begin()->second);
+    timers_.erase(timers_.begin());
+    fn();
+  }
 }
 
 bool EventLoop::InLoopThread() const {
@@ -163,12 +208,46 @@ void EventLoop::RunPosted() {
   for (auto& task : tasks) task();
 }
 
+namespace {
+
+/// Shared errno policy of both poll backends. EINTR is routine. EBADF and
+/// EINVAL mean the loop's own bookkeeping handed the kernel a broken fd set
+/// — a programmer error worth dying loudly for. Everything else (ENOMEM
+/// under pressure being the documented case) is transient: one failed poll
+/// must degrade to a logged retry, not take the whole server down with it.
+/// Returns true when the caller should return and let Run() retry.
+bool HandlePollError(const char* call) {
+  if (errno == EINTR) return true;
+  KGEVAL_CHECK(errno != EBADF && errno != EINVAL)
+      << call << ": errno " << errno;
+  KGEVAL_LOG(Warning) << call << ": transient errno " << errno
+                      << ", retrying";
+  // A brief nap so a persistent transient error cannot hot-spin the loop;
+  // posted tasks and timers still run each retry iteration.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return true;
+}
+
+/// The injectable poller failure (fault point "net.loop.poll"): when it
+/// fires, the poll is skipped and errno comes from the fault spec, exactly
+/// as if the syscall had failed.
+bool InjectPollFailure() {
+  int injected = 0;
+  if (!FaultPoint("net.loop.poll", &injected)) return false;
+  errno = injected;
+  return true;
+}
+
+}  // namespace
+
 void EventLoop::PollOnce(int timeout_ms) {
 #ifdef KGEVAL_NET_EPOLL
   struct epoll_event ready[64];
-  const int n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+  const int n = InjectPollFailure()
+                    ? -1
+                    : ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
   if (n < 0) {
-    KGEVAL_CHECK(errno == EINTR) << "epoll_wait: errno " << errno;
+    HandlePollError("epoll_wait");
     return;
   }
   for (int i = 0; i < n; ++i) {
@@ -203,9 +282,11 @@ void EventLoop::PollOnce(int timeout_ms) {
     poll_fds.push_back(p);
     generations.push_back(reg.generation);
   }
-  const int n = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
+  const int n = InjectPollFailure()
+                    ? -1
+                    : ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
   if (n < 0) {
-    KGEVAL_CHECK(errno == EINTR) << "poll: errno " << errno;
+    HandlePollError("poll");
     return;
   }
   if (n == 0) return;

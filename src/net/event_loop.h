@@ -2,11 +2,14 @@
 #define KGEVAL_NET_EVENT_LOOP_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace kgeval {
@@ -65,6 +68,17 @@ class EventLoop {
   /// Stop). Tasks run in post order, after fd callbacks of the iteration.
   void Post(std::function<void()> task);
 
+  /// Arms a one-shot monotonic timer: `fn` runs on the loop thread at (or
+  /// just after) now + delay_s, after the iteration's fd callbacks. Like
+  /// Add(), loop-thread only (or before Run() starts) — other threads
+  /// Post() a closure that arms it. Returns an id for CancelTimer; ids are
+  /// never reused. Timers drive the service's per-command deadlines and
+  /// idle-connection reaping.
+  uint64_t RunAfter(double delay_s, std::function<void()> fn);
+  /// Cancels a pending timer. A no-op for a timer that already fired (or
+  /// an unknown id), so completion paths can cancel unconditionally.
+  void CancelTimer(uint64_t id);
+
   /// True iff the calling thread is inside Run(). Lets shared helpers
   /// assert they are (or are not) on the loop thread.
   bool InLoopThread() const;
@@ -84,9 +98,19 @@ class EventLoop {
   void PollOnce(int timeout_ms);
   void RunPosted();
   void Wakeup();
+  /// Poll timeout shrunk to the earliest pending timer, in [0, cap_ms].
+  int NextTimeoutMs(int cap_ms) const;
+  /// Runs (and removes) every timer whose deadline has passed.
+  void FireDueTimers();
 
   std::unordered_map<int, Registration> fds_;
   uint32_t next_generation_ = 0;
+  /// Pending timers, ordered by (deadline, id): steady_clock so a wall
+  /// clock step never fires (or starves) a deadline. Loop thread only.
+  std::map<std::pair<std::chrono::steady_clock::time_point, uint64_t>,
+           std::function<void()>>
+      timers_;
+  uint64_t next_timer_id_ = 0;
   int wakeup_read_ = -1;
   int wakeup_write_ = -1;
 #if defined(__linux__) && !defined(KGEVAL_FORCE_POLL)

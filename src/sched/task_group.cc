@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace kgeval {
 
 struct TaskGroup::State {
@@ -27,6 +29,9 @@ TaskGroup::~TaskGroup() { Wait(); }
 void TaskGroup::Submit(std::function<void()> task) {
   if (InThreadPoolWorker()) {
     // Nested submission from a worker: run inline (see header).
+    // Fault point "sched.task.delay": armed as a kDelay fault it naps
+    // before the task starts, simulating a loaded or descheduled worker.
+    FaultPoint("sched.task.delay");
     task();
     return;
   }
@@ -53,6 +58,8 @@ bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
     task = std::move(state->queue.front());
     state->queue.pop_front();
   }
+  // Same "sched.task.delay" probe as the inline path in Submit().
+  FaultPoint("sched.task.delay");
   task();
   std::lock_guard<std::mutex> lock(state->mutex);
   if (--state->pending == 0) state->done.notify_all();

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -17,6 +18,7 @@
 
 #include "net/net_util.h"
 #include "service/command.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -40,6 +42,14 @@ struct EvalServer::Client {
   bool busy = false;           // An executor job is running for this client.
   bool paused = false;         // Reads paused by queue-depth flow control.
   bool quitting = false;       // QUIT seen: drain replies, then close.
+  /// Cancellation token of the in-flight blocking command, shared with the
+  /// executor job (and the deadline timer, when armed). Reset by the
+  /// completion post; Shutdown trips it to drain in-flight work bounded.
+  std::shared_ptr<CancelToken> active;
+  /// Pending RunAfter id of the in-flight command's deadline (0 = none).
+  uint64_t deadline_timer = 0;
+  /// Last traffic or command completion; drives the idle reaper.
+  std::chrono::steady_clock::time_point last_activity;
 };
 
 /// The command executor pool: plain worker threads draining a FIFO of
@@ -66,6 +76,14 @@ class EvalServer::Executor {
       queue_.push(std::move(fn));
     }
     work_.notify_one();
+  }
+
+  /// Commands waiting for an executor thread (not the ones running). The
+  /// load shedder's signal: a deep backlog means every executor is pinned
+  /// and new work would only wait.
+  size_t QueuedDepth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
   }
 
   /// Runs every queued job (they fail fast once connections are closed),
@@ -97,7 +115,7 @@ class EvalServer::Executor {
   }
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_;
   std::queue<std::function<void()>> queue_;
   bool stopping_ = false;
@@ -147,6 +165,10 @@ Status EvalServer::Init() {
   }
   executor_ = std::make_unique<Executor>(executors);
   loop_thread_ = std::thread([this] { loop_.Run(); });
+  if (options_.idle_timeout_s > 0) {
+    // Timers are loop-thread state; arm the first sweep from the loop.
+    loop_.Post([this] { ScheduleIdleSweep(); });
+  }
   KGEVAL_LOG(Info) << "kgeval-server listening on " << options_.host << ":"
                    << port_ << " (" << executors << " executors)";
   return Status::OK();
@@ -171,6 +193,7 @@ void EvalServer::HandleAccept() {
     auto client = std::make_shared<Client>();
     client->conn =
         std::make_shared<Connection>(&loop_, fd, options_.connection);
+    client->last_activity = std::chrono::steady_clock::now();
     clients_.insert(client);
     // Both callbacks capture the Client weakly: Client::conn owns the
     // Connection, and the Connection stores these callbacks for its whole
@@ -200,11 +223,12 @@ void EvalServer::UpdateClientFlowControl(
     const std::shared_ptr<Client>& client) {
   if (client->conn->closed()) return;
   if (!client->paused &&
-      client->pending.size() >= options_.max_queued_commands) {
+      client->pending.size() >= options_.max_pending_per_connection) {
     client->paused = true;
     client->conn->PauseReads();
   } else if (client->paused &&
-             client->pending.size() <= options_.max_queued_commands / 2) {
+             client->pending.size() <=
+                 options_.max_pending_per_connection / 2) {
     client->paused = false;
     client->conn->ResumeReads();
   }
@@ -213,6 +237,7 @@ void EvalServer::UpdateClientFlowControl(
 void EvalServer::OnLine(const std::shared_ptr<Client>& client,
                         std::string_view line, bool overflow) {
   if (client->quitting || client->conn->closed()) return;
+  client->last_activity = std::chrono::steady_clock::now();
   client->pending.push_back(Client::Request{std::string(line), overflow});
   UpdateClientFlowControl(client);
   PumpClient(client);
@@ -261,21 +286,83 @@ void EvalServer::PumpClient(const std::shared_ptr<Client>& client) {
       continue;
     }
 
+    // Load shedding happens here, at dispatch — when the request reaches
+    // the head of its connection's queue — never at enqueue: an enqueue-
+    // time ERR busy would jump ahead of the replies to requests queued
+    // before it and break the per-connection reply-order guarantee. A shed
+    // is an in-order terminal reply like any other.
+    if (options_.max_queued_commands > 0 &&
+        executor_->QueuedDepth() >= options_.max_queued_commands) {
+      counters.commands.fetch_add(1, std::memory_order_relaxed);
+      counters.shed.fetch_add(1, std::memory_order_relaxed);
+      client->conn->Send(
+          "ERR busy server overloaded, retry later\n");
+      continue;
+    }
+
     // Blocking verb: at most one in flight per connection, so pipelined
     // replies keep request order; the next request starts from the
     // completion post.
     client->busy = true;
+    client->active = std::make_shared<CancelToken>();
+    // LOAD is deadline-exempt: dataset builds are not cancellation-
+    // threaded, so a timer could only fire spuriously after the fact.
+    if (options_.service.default_deadline_s > 0 &&
+        cmd.spec->verb != Verb::kLoad) {
+      auto token = client->active;
+      client->deadline_timer =
+          loop_.RunAfter(options_.service.default_deadline_s, [token] {
+            token->Cancel(CancelToken::Reason::kDeadline);
+          });
+    }
     auto conn = client->conn;
-    executor_->Submit([this, client, conn, cmd = std::move(cmd)] {
-      service_->Execute(cmd, [&conn](const std::string& reply) {
-        return conn->BlockingSend(reply + "\n");
-      });
+    auto token = client->active;
+    executor_->Submit([this, client, conn, token, cmd = std::move(cmd)] {
+      service_->Execute(
+          cmd,
+          [&conn](const std::string& reply) {
+            return conn->BlockingSend(reply + "\n");
+          },
+          token.get());
       loop_.Post([this, client] {
+        if (client->deadline_timer != 0) {
+          loop_.CancelTimer(client->deadline_timer);
+          client->deadline_timer = 0;
+        }
+        client->active.reset();
         client->busy = false;
+        client->last_activity = std::chrono::steady_clock::now();
         if (!client->conn->closed()) PumpClient(client);
       });
     });
     return;
+  }
+}
+
+void EvalServer::ScheduleIdleSweep() {
+  loop_.RunAfter(std::max(0.01, options_.idle_timeout_s / 2), [this] {
+    ReapIdleClients();
+    ScheduleIdleSweep();
+  });
+}
+
+void EvalServer::ReapIdleClients() {
+  const auto now = std::chrono::steady_clock::now();
+  // Close() mutates clients_ through OnClose; iterate a copy.
+  const std::vector<std::shared_ptr<Client>> open(clients_.begin(),
+                                                  clients_.end());
+  for (const auto& client : open) {
+    // Only truly quiescent connections are reaped: nothing in flight,
+    // nothing queued, not already draining a QUIT.
+    if (client->busy || client->quitting || !client->pending.empty()) {
+      continue;
+    }
+    if (client->conn->closed()) continue;
+    const double idle_s =
+        std::chrono::duration<double>(now - client->last_activity).count();
+    if (idle_s < options_.idle_timeout_s) continue;
+    service_->counters().idle_closed.fetch_add(1, std::memory_order_relaxed);
+    client->conn->Close();
   }
 }
 
@@ -304,6 +391,14 @@ void EvalServer::Shutdown() {
     // Close() mutates clients_ through OnClose; iterate a copy.
     const std::vector<std::shared_ptr<Client>> open(clients_.begin(),
                                                     clients_.end());
+    // Trip every in-flight command's token first: executors wind down at
+    // their next block boundary instead of finishing hours of sweep into
+    // sockets about to vanish — that is what bounds the drain below.
+    for (const auto& client : open) {
+      if (client->active != nullptr) {
+        client->active->Cancel(CancelToken::Reason::kCancelled);
+      }
+    }
     for (const auto& client : open) client->conn->Close();
     closed.set_value();
   });

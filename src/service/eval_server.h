@@ -41,9 +41,19 @@ class EvalServer {
     /// 0 = max(2, worker-pool width). The cap on concurrently executing
     /// commands across all connections.
     size_t executor_threads = 0;
+    /// Load-shedding cap on the executor backlog: a blocking command
+    /// reaching the head of its connection's queue while this many
+    /// commands already wait for an executor is answered `ERR busy`
+    /// in-order instead of queued (0 = never shed). Keeps the backlog —
+    /// and every client's worst-case wait — bounded under overload.
+    size_t max_queued_commands = 256;
     /// Pipelined requests buffered per connection before its reads pause
     /// (the request-side counterpart of the byte high-water mark).
-    size_t max_queued_commands = 1024;
+    size_t max_pending_per_connection = 1024;
+    /// Close connections idle this long — no traffic, nothing queued,
+    /// nothing in flight (0 = never). Reaped connections count into the
+    /// STATS `idle_closed` counter.
+    double idle_timeout_s = 0.0;
     /// When non-empty, Start() runs `LOAD <preload_dataset>` to completion
     /// before the accept loop exists, so the first client can never
     /// observe a no-dataset window; a failed preload fails Start().
@@ -83,6 +93,10 @@ class EvalServer {
   /// queue drains). Loop thread only.
   void PumpClient(const std::shared_ptr<Client>& client);
   void UpdateClientFlowControl(const std::shared_ptr<Client>& client);
+  /// Self-rearming idle-connection sweep (loop thread only); runs every
+  /// idle_timeout_s / 2 while the loop is alive.
+  void ScheduleIdleSweep();
+  void ReapIdleClients();
 
   Options options_;
   uint16_t port_ = 0;

@@ -97,7 +97,18 @@ bool EvalService::EmitError(const EmitFn& emit, const std::string& code,
   return emit(StrFormat("ERR %s %s", code.c_str(), message.c_str()));
 }
 
-void EvalService::Execute(const ParsedCommand& cmd, const EmitFn& emit) {
+bool EvalService::EmitCancelled(const EmitFn& emit, const CancelToken& cancel,
+                                const std::string& what) {
+  if (cancel.reason() == CancelToken::Reason::kDeadline) {
+    counters_.deadlines_exceeded.fetch_add(1, std::memory_order_relaxed);
+    return EmitError(emit, "deadline-exceeded", what);
+  }
+  counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  return EmitError(emit, "cancelled", what);
+}
+
+void EvalService::Execute(const ParsedCommand& cmd, const EmitFn& emit,
+                          const CancelToken* cancel) {
   KGEVAL_CHECK(cmd.spec != nullptr);
   counters_.commands.fetch_add(1, std::memory_order_relaxed);
   counters_.in_flight.fetch_add(1, std::memory_order_relaxed);
@@ -109,13 +120,13 @@ void EvalService::Execute(const ParsedCommand& cmd, const EmitFn& emit) {
       ExecuteLoad(cmd, emit);
       break;
     case Verb::kEval:
-      ExecuteEval(cmd, emit);
+      ExecuteEval(cmd, emit, cancel);
       break;
     case Verb::kSweep:
-      ExecuteSweep(cmd, emit);
+      ExecuteSweep(cmd, emit, cancel);
       break;
     case Verb::kWatch:
-      ExecuteWatch(cmd, emit);
+      ExecuteWatch(cmd, emit, cancel);
       break;
     case Verb::kStats:
       ExecuteStats(emit);
@@ -191,7 +202,8 @@ void EvalService::ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit) {
       static_cast<long long>(sample_size), timer.Seconds()));
 }
 
-void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit) {
+void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit,
+                              const CancelToken* cancel) {
   auto state = Snapshot();
   if (state == nullptr) {
     EmitError(emit, "no-dataset", "LOAD a dataset before EVAL");
@@ -212,9 +224,14 @@ void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit) {
     adaptive.target_half_width = half_width;
     auto result = framework.EstimateAdaptiveCheckpointOnPools(
         path, *state->filter, state->split, state->session->pools(),
-        adaptive);
+        adaptive, cancel);
     if (!result.ok()) {
-      EmitError(emit, "eval-failed", result.status().message());
+      if (result.status().code() == StatusCode::kCancelled &&
+          cancel != nullptr) {
+        EmitCancelled(emit, *cancel, result.status().message());
+      } else {
+        EmitError(emit, "eval-failed", result.status().message());
+      }
       return;
     }
     counters_.checkpoints_evaluated.fetch_add(1, std::memory_order_relaxed);
@@ -222,16 +239,23 @@ void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit) {
     return;
   }
   auto result = framework.EstimateCheckpointOnPools(
-      path, *state->filter, state->split, state->session->pools());
+      path, *state->filter, state->split, state->session->pools(),
+      /*max_triples=*/0, cancel);
   if (!result.ok()) {
-    EmitError(emit, "eval-failed", result.status().message());
+    if (result.status().code() == StatusCode::kCancelled &&
+        cancel != nullptr) {
+      EmitCancelled(emit, *cancel, result.status().message());
+    } else {
+      EmitError(emit, "eval-failed", result.status().message());
+    }
     return;
   }
   counters_.checkpoints_evaluated.fetch_add(1, std::memory_order_relaxed);
   emit(SampledReply(result.ValueOrDie()));
 }
 
-void EvalService::ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit) {
+void EvalService::ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit,
+                               const CancelToken* cancel) {
   auto state = Snapshot();
   if (state == nullptr) {
     EmitError(emit, "no-dataset", "LOAD a dataset before SWEEP");
@@ -246,14 +270,19 @@ void EvalService::ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit) {
   // in completion order as snapshots finish, each tagged with its input-
   // order index. A dead client flips `live` and the remaining callbacks
   // stop emitting (the sweep itself runs to completion — evaluation work
-  // is shared-pool work that cannot be yanked mid-chunk).
+  // is shared-pool work that cannot be yanked mid-chunk). Cancelled
+  // outcomes are the sweep winding down, not per-item failures: their ITEM
+  // lines are suppressed and the terminal line reports the abandonment.
   bool live = true;
+  size_t emitted = 0;
   CheckpointSweepStats stats;
   state->session->EstimateCheckpoints(
       paths.ValueOrDie(), /*max_triples=*/0,
       [&](size_t index, const CheckpointEstimate& outcome) {
         if (!live) return;
+        if (outcome.status.code() == StatusCode::kCancelled) return;
         counters_.items_streamed.fetch_add(1, std::memory_order_relaxed);
+        ++emitted;
         if (outcome.status.ok()) {
           counters_.checkpoints_evaluated.fetch_add(1,
                                                     std::memory_order_relaxed);
@@ -265,14 +294,21 @@ void EvalService::ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit) {
                                 outcome.status.message().c_str()));
         }
       },
-      &stats);
+      &stats, cancel);
   if (!live) return;
+  if (cancel != nullptr && cancel->cancelled()) {
+    EmitCancelled(emit, *cancel,
+                  StrFormat("sweep abandoned after %zu of %zu checkpoints",
+                            emitted, paths.ValueOrDie().size()));
+    return;
+  }
   emit(StrFormat("DONE %zu failed=%zu max_resident=%zu wall_s=%.6f",
                  paths.ValueOrDie().size(), stats.failed,
                  stats.max_resident_models, stats.wall_seconds));
 }
 
-void EvalService::ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit) {
+void EvalService::ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit,
+                               const CancelToken* cancel) {
   auto state = Snapshot();
   if (state == nullptr) {
     EmitError(emit, "no-dataset", "LOAD a dataset before WATCH");
@@ -301,6 +337,13 @@ void EvalService::ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit) {
   int64_t delivered = 0;
   bool timed_out = false;
   while (delivered < count) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      EmitCancelled(emit, *cancel,
+                    StrFormat("watch abandoned after %lld of %lld items",
+                              static_cast<long long>(delivered),
+                              static_cast<long long>(count)));
+      return;
+    }
     if (timer.Seconds() >= timeout_s || shutting_down()) {
       timed_out = true;
       break;
@@ -313,7 +356,17 @@ void EvalService::ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit) {
     for (const std::string& path : fresh.ValueOrDie()) {
       if (delivered >= count) break;
       auto result = framework.EstimateCheckpointOnPools(
-          path, *state->filter, state->split, state->session->pools());
+          path, *state->filter, state->split, state->session->pools(),
+          /*max_triples=*/0, cancel);
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kCancelled &&
+          cancel != nullptr) {
+        EmitCancelled(emit, *cancel,
+                      StrFormat("watch abandoned after %lld of %lld items",
+                                static_cast<long long>(delivered),
+                                static_cast<long long>(count)));
+        return;
+      }
       counters_.items_streamed.fetch_add(1, std::memory_order_relaxed);
       bool live;
       if (result.ok()) {
@@ -352,6 +405,7 @@ void EvalService::ExecuteStats(const EmitFn& emit) {
   emit(StrFormat(
       "OK uptime_s=%.3f dataset=%s connections=%llu accepted=%llu "
       "commands=%llu errors=%llu items=%llu evals=%llu in_flight=%llu "
+      "shed=%llu deadlines=%llu cancelled=%llu idle_closed=%llu "
       "threads=%zu",
       uptime, name.empty() ? "-" : name.c_str(),
       static_cast<unsigned long long>(counters_.connections_open.load()),
@@ -361,6 +415,10 @@ void EvalService::ExecuteStats(const EmitFn& emit) {
       static_cast<unsigned long long>(counters_.items_streamed.load()),
       static_cast<unsigned long long>(counters_.checkpoints_evaluated.load()),
       static_cast<unsigned long long>(counters_.in_flight.load()),
+      static_cast<unsigned long long>(counters_.shed.load()),
+      static_cast<unsigned long long>(counters_.deadlines_exceeded.load()),
+      static_cast<unsigned long long>(counters_.cancelled.load()),
+      static_cast<unsigned long long>(counters_.idle_closed.load()),
       GlobalThreadPool()->num_threads()));
 }
 

@@ -27,6 +27,15 @@ struct ServiceCounters {
   std::atomic<uint64_t> items_streamed{0};
   std::atomic<uint64_t> checkpoints_evaluated{0};
   std::atomic<uint64_t> in_flight{0};
+  /// Commands answered `ERR busy` by the server's load shedder.
+  std::atomic<uint64_t> shed{0};
+  /// Commands abandoned because their deadline fired (`ERR
+  /// deadline-exceeded`).
+  std::atomic<uint64_t> deadlines_exceeded{0};
+  /// Commands abandoned by a non-deadline cancellation (shutdown drain).
+  std::atomic<uint64_t> cancelled{0};
+  /// Connections closed by the idle reaper.
+  std::atomic<uint64_t> idle_closed{0};
 };
 
 /// The verb implementations behind kgeval-server, separated from sockets:
@@ -49,6 +58,12 @@ class EvalService {
     int poll_interval_ms = 50;
     /// WATCH's default timeout when the client omits one.
     double default_watch_timeout_s = 30.0;
+    /// Deadline armed by the server for each blocking command (EVAL, SWEEP,
+    /// WATCH; LOAD is exempt — dataset builds are not cancellation-
+    /// threaded). When it fires, the command's CancelToken trips with
+    /// Reason::kDeadline, the pass winds down cooperatively, and the client
+    /// sees `ERR deadline-exceeded`. 0 disables deadlines.
+    double default_deadline_s = 0.0;
   };
 
   /// The framework configuration LOAD builds sessions with. One definition
@@ -72,8 +87,12 @@ class EvalService {
 
   /// Executes any verb except QUIT (a transport concern), emitting every
   /// reply line including the terminal OK/DONE/ERR. Never throws; failures
-  /// become ERR lines.
-  void Execute(const ParsedCommand& cmd, const EmitFn& emit);
+  /// become ERR lines. `cancel` (optional; must outlive the call) lets the
+  /// transport abandon a blocking verb mid-flight: a tripped token ends the
+  /// command with `ERR deadline-exceeded` or `ERR cancelled` depending on
+  /// its reason, never a partial OK.
+  void Execute(const ParsedCommand& cmd, const EmitFn& emit,
+               const CancelToken* cancel = nullptr);
 
   /// Makes in-flight WATCH polls return at their next wakeup (server
   /// shutdown must not wait out a client's timeout).
@@ -99,14 +118,23 @@ class EvalService {
   std::shared_ptr<const Loaded> Snapshot() const;
 
   void ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit);
-  void ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit);
-  void ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit);
-  void ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit);
+  void ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit,
+                   const CancelToken* cancel);
+  void ExecuteSweep(const ParsedCommand& cmd, const EmitFn& emit,
+                    const CancelToken* cancel);
+  void ExecuteWatch(const ParsedCommand& cmd, const EmitFn& emit,
+                    const CancelToken* cancel);
   void ExecuteStats(const EmitFn& emit);
 
   /// emit() + error accounting; returns emit's verdict.
   bool EmitError(const EmitFn& emit, const std::string& code,
                  const std::string& message);
+
+  /// Terminal ERR of a cancelled command: `deadline-exceeded` or
+  /// `cancelled` depending on the token's reason, each bumping its own
+  /// counter. `what` describes how far the command got.
+  bool EmitCancelled(const EmitFn& emit, const CancelToken& cancel,
+                     const std::string& what);
 
   Options options_;
   ServiceCounters counters_;

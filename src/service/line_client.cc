@@ -112,6 +112,14 @@ bool LineClient::IsTerminal(const std::string& line) {
   return verb == "OK" || verb == "DONE" || verb == "ERR";
 }
 
+std::string LineClient::ErrorCode(const std::string& line) {
+  if (line.rfind("ERR ", 0) != 0) return std::string();
+  const size_t begin = 4;
+  const size_t end = line.find(' ', begin);
+  return end == std::string::npos ? line.substr(begin)
+                                  : line.substr(begin, end - begin);
+}
+
 Result<std::vector<std::string>> LineClient::ReadReply() {
   std::vector<std::string> lines;
   while (true) {

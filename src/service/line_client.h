@@ -42,6 +42,12 @@ class LineClient {
   /// True for a reply-terminating line: OK / DONE / ERR as first token.
   static bool IsTerminal(const std::string& line);
 
+  /// The machine-readable code of an `ERR <code> ...` line ("" for
+  /// anything else). Lets callers branch on retryable conditions — a
+  /// shed ("busy") or a fired deadline ("deadline-exceeded") is back-
+  /// pressure to retry against, not a protocol failure.
+  static std::string ErrorCode(const std::string& line);
+
   /// Reads lines up to and including the terminal line of one reply.
   Result<std::vector<std::string>> ReadReply();
 

@@ -1,0 +1,264 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kgeval {
+
+namespace {
+
+/// The registered probe names. Adding a probe site means adding its name
+/// here AND documenting it in docs/ARCHITECTURE.md ("Fault points") — the
+/// chaos suite cross-checks the two.
+const char* const kFaultPoints[] = {
+    "io.checkpoint.open",     // checkpoint.cc: LoadModel open fails
+    "io.checkpoint.read",     // checkpoint.cc: parameter read truncated
+    "io.checkpoint.write",    // checkpoint.cc: SaveModel flush fails
+    "net.loop.poll",          // event_loop.cc: poller returns injected errno
+    "net.recv.close",         // connection.cc: peer vanishes mid-line
+    "net.send.eagain",        // connection.cc: send would block this flush
+    "net.send.short_write",   // connection.cc: send accepts one byte
+    "sched.task.delay",       // task_group.cc: task start delayed
+};
+
+struct PointState {
+  FaultSpec spec;
+  int64_t hits = 0;   // Probe evaluations since arming.
+  int64_t fired = 0;  // Hits that actually triggered.
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, PointState> armed;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+bool IsKnownPoint(const std::string& point) {
+  for (const char* name : kFaultPoints) {
+    if (point == name) return true;
+  }
+  return false;
+}
+
+bool ParseErrnoName(const std::string& value, int* out) {
+  static const std::pair<const char*, int> kNames[] = {
+      {"EIO", EIO},         {"ENOENT", ENOENT}, {"EAGAIN", EAGAIN},
+      {"EPIPE", EPIPE},     {"ENOMEM", ENOMEM}, {"ECONNRESET", ECONNRESET},
+      {"EBADF", EBADF},     {"EINVAL", EINVAL},
+  };
+  for (const auto& [name, number] : kNames) {
+    if (value == name) {
+      *out = number;
+      return true;
+    }
+  }
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == value.c_str() || n <= 0) {
+    return false;
+  }
+  *out = static_cast<int>(n);
+  return true;
+}
+
+bool ParseCount(const std::string& value, int64_t* out) {
+  char* end = nullptr;
+  const long long n = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == value.c_str()) return false;
+  *out = n;
+  return true;
+}
+
+Status ParseDirectives(const std::string& point, const std::string& list,
+                       FaultSpec* spec) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string directive = list.substr(start, comma - start);
+    start = comma + 1;
+    if (directive.empty()) continue;
+    const size_t eq = directive.find('=');
+    const std::string key =
+        eq == std::string::npos ? directive : directive.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : directive.substr(eq + 1);
+    int64_t n = 0;
+    if (key == "once") {
+      spec->count = 1;
+    } else if (key == "always") {
+      spec->count = -1;
+    } else if (key == "nth") {
+      if (!ParseCount(value, &n) || n < 1) {
+        return Status::InvalidArgument(
+            StrFormat("%s: nth wants a positive integer, got '%s'",
+                      point.c_str(), value.c_str()));
+      }
+      spec->skip = n - 1;
+      spec->count = 1;
+    } else if (key == "skip") {
+      if (!ParseCount(value, &n) || n < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: skip wants a non-negative integer, got '%s'", point.c_str(),
+            value.c_str()));
+      }
+      spec->skip = n;
+    } else if (key == "count") {
+      if (!ParseCount(value, &n) || (n < 1 && n != -1)) {
+        return Status::InvalidArgument(
+            StrFormat("%s: count wants a positive integer or -1, got '%s'",
+                      point.c_str(), value.c_str()));
+      }
+      spec->count = n;
+    } else if (key == "errno") {
+      if (!ParseErrnoName(value, &spec->inject_errno)) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: unknown errno '%s'", point.c_str(), value.c_str()));
+      }
+    } else if (key == "delay_ms") {
+      if (!ParseCount(value, &n) || n < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: delay_ms wants a non-negative integer, got '%s'",
+            point.c_str(), value.c_str()));
+      }
+      spec->kind = FaultSpec::Kind::kDelay;
+      spec->delay_ms = static_cast<int>(n);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "%s: unknown directive '%s'", point.c_str(), directive.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace fault_internal {
+
+std::atomic<int> armed_points{0};
+
+bool Evaluate(const char* point, int* out_errno) {
+  FaultSpec spec;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.armed.find(point);
+    if (it == registry.armed.end()) return false;
+    PointState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.spec.skip) return false;
+    if (state.spec.count >= 0 && state.fired >= state.spec.count) {
+      return false;
+    }
+    ++state.fired;
+    spec = state.spec;
+  }
+  if (spec.kind == FaultSpec::Kind::kDelay) {
+    // Sleep outside the registry lock: a delayed task must not serialize
+    // every other probe in the process behind its nap.
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+    return false;
+  }
+  if (out_errno != nullptr) *out_errno = spec.inject_errno;
+  return true;
+}
+
+}  // namespace fault_internal
+
+void ArmFault(const std::string& point, const FaultSpec& spec) {
+  KGEVAL_CHECK(IsKnownPoint(point))
+      << "unknown fault point '" << point
+      << "' (see FaultPointNames in util/fault.cc)";
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const bool fresh = registry.armed.find(point) == registry.armed.end();
+  registry.armed[point] = PointState{spec, 0, 0};
+  if (fresh) {
+    fault_internal::armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmFault(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.armed.erase(point) > 0) {
+    fault_internal::armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAllFaults() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  fault_internal::armed_points.fetch_sub(
+      static_cast<int>(registry.armed.size()), std::memory_order_relaxed);
+  registry.armed.clear();
+}
+
+int64_t FaultTriggerCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.armed.find(point);
+  return it == registry.armed.end() ? 0 : it->second.fired;
+}
+
+Status ArmFaultsFromSpec(const std::string& spec) {
+  // Parse everything before arming anything: a bad entry must not leave
+  // half the spec live.
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string entry = spec.substr(start, semi - start);
+    start = semi + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "fault entry '%s' is missing '=directives'", entry.c_str()));
+    }
+    const std::string point = entry.substr(0, eq);
+    if (!IsKnownPoint(point)) {
+      return Status::InvalidArgument(
+          StrFormat("unknown fault point '%s'", point.c_str()));
+    }
+    FaultSpec fault;
+    KGEVAL_RETURN_NOT_OK(ParseDirectives(point, entry.substr(eq + 1), &fault));
+    parsed.emplace_back(point, fault);
+  }
+  for (const auto& [point, fault] : parsed) ArmFault(point, fault);
+  return Status::OK();
+}
+
+Status ArmFaultsFromEnv() {
+  const char* spec = std::getenv("KGEVAL_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return ArmFaultsFromSpec(spec);
+}
+
+const std::vector<const char*>& FaultPointNames() {
+  static const std::vector<const char*>* names = [] {
+    auto* v = new std::vector<const char*>(std::begin(kFaultPoints),
+                                           std::end(kFaultPoints));
+    std::sort(v->begin(), v->end(), [](const char* a, const char* b) {
+      return std::string_view(a) < std::string_view(b);
+    });
+    return v;
+  }();
+  return *names;
+}
+
+}  // namespace kgeval

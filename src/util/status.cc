@@ -25,6 +25,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

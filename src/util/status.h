@@ -20,6 +20,9 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// Cooperative cancellation (CancelToken): the work was abandoned by its
+  /// requester — a deadline, a shutdown — not broken by an error.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -59,6 +62,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

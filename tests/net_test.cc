@@ -22,6 +22,7 @@
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/net_util.h"
+#include "util/fault.h"
 
 namespace kgeval {
 namespace {
@@ -387,6 +388,99 @@ TEST(ConnectionTest, PeerDisconnectFiresCloseCallback) {
   ASSERT_TRUE(h.WaitForLines(1));
   h.ClosePeer();
   EXPECT_TRUE(h.WaitForClose());
+}
+
+TEST(EventLoopTimerTest, RunAfterFiresOnLoopThread) {
+  LoopThread loop;
+  std::promise<bool> fired;
+  ASSERT_TRUE(loop.Posted([&] {
+    loop.loop().RunAfter(0.02, [&] {
+      fired.set_value(loop.loop().InLoopThread());
+    });
+  }));
+  auto future = fired.get_future();
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_TRUE(future.get());
+}
+
+TEST(EventLoopTimerTest, CancelTimerPreventsFiring) {
+  LoopThread loop;
+  std::atomic<bool> fired{false};
+  ASSERT_TRUE(loop.Posted([&] {
+    const uint64_t id =
+        loop.loop().RunAfter(0.05, [&] { fired.store(true); });
+    loop.loop().CancelTimer(id);
+    // Cancelling an already-cancelled (or never-armed) id is a no-op.
+    loop.loop().CancelTimer(id);
+    loop.loop().CancelTimer(99999);
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(EventLoopTimerTest, TimersFireInDeadlineOrderNotArmOrder) {
+  LoopThread loop;
+  std::mutex mutex;
+  std::vector<int> order;
+  std::promise<void> all;
+  ASSERT_TRUE(loop.Posted([&] {
+    loop.loop().RunAfter(0.09, [&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(3);
+      all.set_value();
+    });
+    loop.loop().RunAfter(0.02, [&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(1);
+    });
+    loop.loop().RunAfter(0.05, [&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(2);
+    });
+  }));
+  ASSERT_EQ(all.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTimerTest, TimerCallbackCanRearm) {
+  LoopThread loop;
+  auto count = std::make_shared<std::atomic<int>>(0);
+  std::promise<void> twice;
+  ASSERT_TRUE(loop.Posted([&] {
+    // The self-rearming pattern the idle reaper uses: a firing callback
+    // arms the next timer from inside FireDueTimers.
+    loop.loop().RunAfter(0.01, [&] {
+      count->fetch_add(1);
+      loop.loop().RunAfter(0.01, [&] {
+        count->fetch_add(1);
+        twice.set_value();
+      });
+    });
+  }));
+  ASSERT_EQ(twice.get_future().wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(count->load(), 2);
+}
+
+TEST(EventLoopTimerTest, SurvivesTransientPollFailure) {
+  // Regression: a transient epoll_wait/poll errno (ENOMEM here, injected
+  // at the net.loop.poll probe) used to CHECK-abort the loop thread. The
+  // loop must log, back off, and keep dispatching.
+  FaultSpec spec;
+  spec.inject_errno = ENOMEM;
+  spec.count = 3;
+  ArmFault("net.loop.poll", spec);
+  {
+    LoopThread loop;
+    std::atomic<bool> ran{false};
+    EXPECT_TRUE(loop.Posted([&] { ran.store(true); }, /*timeout_ms=*/5000));
+    EXPECT_TRUE(ran.load());
+  }
+  EXPECT_GE(FaultTriggerCount("net.loop.poll"), 1);
+  DisarmAllFaults();
 }
 
 TEST(NetUtilTest, ListenerBindsEphemeralPortAndAcceptsConnect) {

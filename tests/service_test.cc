@@ -165,7 +165,8 @@ TEST_F(ServiceTest, ProtocolDocCoversEveryVerbAndErrorCode) {
   // Every error code the service emits must be in the code table.
   for (const char* code :
        {"line-too-long", "unknown-verb", "arity", "bad-argument",
-        "no-dataset", "eval-failed", "io", "internal"}) {
+        "no-dataset", "eval-failed", "io", "internal", "busy",
+        "deadline-exceeded", "cancelled"}) {
     EXPECT_NE(doc.find("`" + std::string(code) + "`"), std::string::npos)
         << "PROTOCOL.md lacks error code " << code;
   }
@@ -488,7 +489,8 @@ TEST_F(ServiceTest, StatsReportsDatasetAndCounters) {
   auto kv = ParseKeyValues(Request(client, "STATS"));
   EXPECT_EQ(kv["dataset"], kPreset);
   for (const char* key : {"uptime_s", "connections", "accepted", "commands",
-                          "errors", "items", "evals", "in_flight",
+                          "errors", "items", "evals", "in_flight", "shed",
+                          "deadlines", "cancelled", "idle_closed",
                           "threads"}) {
     EXPECT_TRUE(kv.count(key)) << "STATS lacks " << key;
   }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "service/eval_server.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -26,16 +27,26 @@ using namespace kgeval;
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host=ADDR] [--port=N] [--threads=N] "
-               "[--executors=N] [--preload=DATASET]\n"
-               "  --host=ADDR      bind address (default 127.0.0.1)\n"
-               "  --port=N         TCP port; 0 picks an ephemeral one "
+               "[--executors=N] [--preload=DATASET] [--deadline=S]\n"
+               "       [--idle-timeout=S] [--max-queued=N]\n"
+               "  --host=ADDR       bind address (default 127.0.0.1)\n"
+               "  --port=N          TCP port; 0 picks an ephemeral one "
                "(default 7471)\n"
-               "  --threads=N      worker-pool width (default: "
+               "  --threads=N       worker-pool width (default: "
                "KGEVAL_THREADS, then hardware)\n"
-               "  --executors=N    concurrent command cap (default: "
+               "  --executors=N     concurrent command cap (default: "
                "max(2, threads))\n"
-               "  --preload=NAME   run LOAD <NAME> before accepting "
-               "traffic\n",
+               "  --preload=NAME    run LOAD <NAME> before accepting "
+               "traffic\n"
+               "  --deadline=S      per-command deadline for EVAL/SWEEP/"
+               "WATCH, seconds (default 0 = none)\n"
+               "  --idle-timeout=S  close connections idle this long "
+               "(default 0 = never)\n"
+               "  --max-queued=N    executor backlog before ERR busy "
+               "(default 256, 0 = unlimited)\n"
+               "\n"
+               "KGEVAL_FAULTS=<spec> arms fault-injection points at "
+               "startup (testing only; see docs/ARCHITECTURE.md).\n",
                argv0);
 }
 
@@ -65,8 +76,26 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--preload", &value)) {
       options.preload_dataset = value;
+    } else if (ParseFlag(argv[i], "--deadline", &value)) {
+      options.service.default_deadline_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--idle-timeout", &value)) {
+      options.idle_timeout_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-queued", &value)) {
+      options.max_queued_commands =
+          static_cast<size_t>(std::atoll(value.c_str()));
     } else {
       Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Chaos harnesses arm fault points through the environment; a typo in
+  // the spec must fail loudly at startup, not silently inject nothing.
+  {
+    Status faults = ArmFaultsFromEnv();
+    if (!faults.ok()) {
+      std::fprintf(stderr, "kgeval-server: KGEVAL_FAULTS: %s\n",
+                   faults.ToString().c_str());
       return 2;
     }
   }
