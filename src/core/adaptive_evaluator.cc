@@ -13,13 +13,14 @@ namespace kgeval {
 
 AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
                                     const Dataset& dataset,
-                                    const FilterIndex& filter, Split split,
+                                    const EvalProtocol& protocol, Split split,
                                     const SampledCandidates& candidates,
                                     const AdaptiveEvalOptions& options) {
   WallTimer timer;
   const std::vector<Triple>& triples = dataset.split(split);
   const int64_t num_triples = static_cast<int64_t>(triples.size());
   const int32_t num_r = dataset.num_relations();
+  const int32_t num_groups = protocol.num_groups();
   ValidateQueriedPools(triples, num_triples, num_r, candidates);
 
   AdaptiveEvalResult result;
@@ -32,9 +33,10 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
   // (Shuffling slot blocks instead would make rounds cluster samples of
   // same-relation queries, whose correlated ranks bias small rounds and
   // shrink the effective sample size far below the query count.) Each
-  // round's queries are regrouped by slot purely for scoring efficiency.
+  // round's queries are regrouped by protocol group purely for scoring
+  // efficiency.
   Rng rng(options.shuffle_seed);
-  const std::vector<int32_t> order = ShuffledQueryOrder(num_triples, &rng);
+  const std::vector<int64_t> order = ShuffledQueryOrder(num_triples, &rng);
 
   SampledEvalOptions eval_options;
   eval_options.tie = options.tie;
@@ -49,11 +51,11 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
   const size_t batch_queries = std::max<size_t>(1, options.batch_queries);
 
   RankingAccumulator acc;
-  // Per-round slot buckets (head queries rank the domain slot, tail
-  // queries the range slot); cleared and refilled each round, capacity
-  // kept.
-  std::vector<std::vector<int32_t>> head_buckets(num_r);
-  std::vector<std::vector<int32_t>> tail_buckets(num_r);
+  // Per-round group buckets (head queries rank the group's domain slot,
+  // tail queries its range slot); cleared and refilled each round,
+  // capacity kept.
+  std::vector<std::vector<int32_t>> head_buckets(num_groups);
+  std::vector<std::vector<int32_t>> tail_buckets(num_groups);
   std::vector<SlotBlock> round_blocks;
   size_t next_query = 0;
   while (next_query < order.size()) {
@@ -74,24 +76,30 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
     for (std::vector<int32_t>& bucket : tail_buckets) bucket.clear();
     const size_t round_begin = next_query;
     for (size_t k = 0; k < take; ++k) {
-      const int32_t qid = order[next_query + k];
-      const int32_t i = qid >> 1;
-      const int32_t relation = triples[i].relation;
-      ((qid & 1) ? head_buckets : tail_buckets)[relation].push_back(i);
+      const int64_t qid = order[next_query + k];
+      const int64_t i = qid >> 1;
+      const int32_t group = protocol.GroupOf(triples[i]);
+      ((qid & 1) ? head_buckets : tail_buckets)[group].push_back(
+          static_cast<int32_t>(i));
     }
     next_query += take;
     // Slot-contiguous blocks over the (now stable) round buckets; the
-    // per-slot groups are small, so blocks rarely fill kSampledQueryBlock.
+    // per-group buckets are small, so blocks rarely fill
+    // kSampledQueryBlock. Each block's dataset relation comes from a
+    // bucket triple (every triple of a group shares it).
     round_blocks.clear();
-    for (int32_t r = 0; r < num_r; ++r) {
+    for (int32_t g = 0; g < num_groups; ++g) {
       for (QueryDirection dir :
            {QueryDirection::kHead, QueryDirection::kTail}) {
         const std::vector<int32_t>& bucket =
-            dir == QueryDirection::kHead ? head_buckets[r] : tail_buckets[r];
+            dir == QueryDirection::kHead ? head_buckets[g] : tail_buckets[g];
+        if (bucket.empty()) continue;
+        const int32_t relation = triples[bucket[0]].relation;
+        const int32_t slot = protocol.PoolSlotOf(g, dir);
         for (size_t lo = 0; lo < bucket.size(); lo += kSampledQueryBlock) {
           round_blocks.push_back(
-              {r, dir, &bucket, lo,
-               std::min(bucket.size(), lo + kSampledQueryBlock)});
+              {relation, dir, &bucket, lo,
+               std::min(bucket.size(), lo + kSampledQueryBlock), slot});
         }
       }
     }
@@ -100,11 +108,11 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
     // per-pass, so concurrent adaptive passes (EstimateAdaptiveMany) stay
     // independent down to the round granularity.
     TaskGroup round_group;
-    SubmitSlotChunks(&round_group, round_blocks, num_r,
+    SubmitSlotChunks(&round_group, round_blocks,
                      [&](size_t lo, size_t hi) {
                        SlotBlockScratch scratch;
                        const int64_t local_scored = ScoreSlotBlocks(
-                           model, triples, filter, candidates, num_r,
+                           model, triples, protocol, candidates,
                            round_blocks, lo, hi, eval_options, &scratch,
                            result.ranks.data());
                        scored.fetch_add(local_scored,
@@ -158,6 +166,16 @@ AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
   }
   result.eval_seconds = timer.Seconds();
   return result;
+}
+
+AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
+                                    const Dataset& dataset,
+                                    const FilterIndex& filter, Split split,
+                                    const SampledCandidates& candidates,
+                                    const AdaptiveEvalOptions& options) {
+  const StaticFilteredProtocol protocol(dataset.num_relations(), &filter);
+  return EvaluateAdaptive(model, dataset, protocol, split, candidates,
+                          options);
 }
 
 }  // namespace kgeval

@@ -97,6 +97,14 @@ struct AdaptiveEvalResult {
 /// pools.
 AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
                                     const Dataset& dataset,
+                                    const EvalProtocol& protocol, Split split,
+                                    const SampledCandidates& candidates,
+                                    const AdaptiveEvalOptions& options = {});
+
+/// Static-protocol convenience: wraps `filter` in a StaticFilteredProtocol
+/// and evaluates; bit-identical to the pre-protocol evaluator.
+AdaptiveEvalResult EvaluateAdaptive(const KgeModel& model,
+                                    const Dataset& dataset,
                                     const FilterIndex& filter, Split split,
                                     const SampledCandidates& candidates,
                                     const AdaptiveEvalOptions& options = {});

@@ -78,36 +78,45 @@ std::vector<Outcome> SweepCheckpoints(
 }  // namespace
 
 EvalSession::EvalSession(std::unique_ptr<EvaluationFramework> framework,
-                         const FilterIndex* filter, Split split)
+                         const FilterIndex* filter, Split split,
+                         const EvalProtocol* protocol)
     : framework_(std::move(framework)), filter_(filter), split_(split) {
   KGEVAL_CHECK(framework_ != nullptr);
   KGEVAL_CHECK(filter_ != nullptr);
+  if (protocol == nullptr) {
+    owned_protocol_ = std::make_unique<StaticFilteredProtocol>(
+        framework_->dataset()->num_relations(), filter_);
+    protocol_ = owned_protocol_.get();
+  } else {
+    protocol_ = protocol;
+  }
   pools_ = framework_->DrawPools(split_);
 }
 
 Result<std::unique_ptr<EvalSession>> EvalSession::Create(
     const Dataset* dataset, const FilterIndex* filter,
-    const FrameworkOptions& options, Split split) {
+    const FrameworkOptions& options, Split split,
+    const EvalProtocol* protocol) {
   if (filter == nullptr) {
     return Status::InvalidArgument("filter is null");
   }
   auto framework = EvaluationFramework::Build(dataset, options);
   if (!framework.ok()) return framework.status();
   return {std::unique_ptr<EvalSession>(new EvalSession(
-      std::move(framework).ValueOrDie(), filter, split))};
+      std::move(framework).ValueOrDie(), filter, split, protocol))};
 }
 
 std::unique_ptr<EvalSession> EvalSession::Adopt(
     std::unique_ptr<EvaluationFramework> framework, const FilterIndex* filter,
-    Split split) {
+    Split split, const EvalProtocol* protocol) {
   return std::unique_ptr<EvalSession>(
-      new EvalSession(std::move(framework), filter, split));
+      new EvalSession(std::move(framework), filter, split, protocol));
 }
 
 SampledEvalResult EvalSession::Estimate(const KgeModel& model,
                                         int64_t max_triples,
                                         const CancelToken* cancel) const {
-  return framework_->EstimateOnPools(model, *filter_, split_, pools_,
+  return framework_->EstimateOnPools(model, *protocol_, split_, pools_,
                                      max_triples, cancel);
 }
 
@@ -124,8 +133,8 @@ std::vector<SampledEvalResult> EvalSession::EstimateMany(
 AdaptiveEvalResult EvalSession::EstimateAdaptive(
     const KgeModel& model, const AdaptiveEvalOptions& adaptive,
     const CancelToken* cancel) const {
-  return framework_->EstimateAdaptiveOnPools(model, *filter_, split_, pools_,
-                                             adaptive, cancel);
+  return framework_->EstimateAdaptiveOnPools(model, *protocol_, split_,
+                                             pools_, adaptive, cancel);
 }
 
 std::vector<AdaptiveEvalResult> EvalSession::EstimateAdaptiveMany(

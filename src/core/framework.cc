@@ -71,11 +71,19 @@ SampledEvalResult EvaluationFramework::EstimateOnPools(
     const KgeModel& model, const FilterIndex& filter, Split split,
     const SampledCandidates& pools, int64_t max_triples,
     const CancelToken* cancel) const {
+  const StaticFilteredProtocol protocol(dataset_->num_relations(), &filter);
+  return EstimateOnPools(model, protocol, split, pools, max_triples, cancel);
+}
+
+SampledEvalResult EvaluationFramework::EstimateOnPools(
+    const KgeModel& model, const EvalProtocol& protocol, Split split,
+    const SampledCandidates& pools, int64_t max_triples,
+    const CancelToken* cancel) const {
   SampledEvalOptions eval_options;
   eval_options.tie = options_.tie;
   eval_options.max_triples = max_triples;
   eval_options.cancel = cancel;
-  return EvaluateSampled(model, *dataset_, filter, split, pools,
+  return EvaluateSampled(model, *dataset_, protocol, split, pools,
                          eval_options);
 }
 
@@ -90,10 +98,19 @@ AdaptiveEvalResult EvaluationFramework::EstimateAdaptiveOnPools(
     const KgeModel& model, const FilterIndex& filter, Split split,
     const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive,
     const CancelToken* cancel) const {
+  const StaticFilteredProtocol protocol(dataset_->num_relations(), &filter);
+  return EstimateAdaptiveOnPools(model, protocol, split, pools, adaptive,
+                                 cancel);
+}
+
+AdaptiveEvalResult EvaluationFramework::EstimateAdaptiveOnPools(
+    const KgeModel& model, const EvalProtocol& protocol, Split split,
+    const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive,
+    const CancelToken* cancel) const {
   AdaptiveEvalOptions eval_options = adaptive;
   eval_options.tie = options_.tie;
   if (cancel != nullptr) eval_options.cancel = cancel;
-  return EvaluateAdaptive(model, *dataset_, filter, split, pools,
+  return EvaluateAdaptive(model, *dataset_, protocol, split, pools,
                           eval_options);
 }
 
@@ -130,6 +147,15 @@ Result<SampledEvalResult> EvaluationFramework::EstimateCheckpointOnPools(
     const std::string& path, const FilterIndex& filter, Split split,
     const SampledCandidates& pools, int64_t max_triples,
     const CancelToken* cancel) const {
+  const StaticFilteredProtocol protocol(dataset_->num_relations(), &filter);
+  return EstimateCheckpointOnPools(path, protocol, split, pools, max_triples,
+                                   cancel);
+}
+
+Result<SampledEvalResult> EvaluationFramework::EstimateCheckpointOnPools(
+    const std::string& path, const EvalProtocol& protocol, Split split,
+    const SampledCandidates& pools, int64_t max_triples,
+    const CancelToken* cancel) const {
   // Checked before the load (the expensive part most worth skipping) and
   // again on the pass result, so a token that fires at any point turns the
   // call into kCancelled instead of returning partial metrics.
@@ -138,7 +164,7 @@ Result<SampledEvalResult> EvaluationFramework::EstimateCheckpointOnPools(
   }
   auto model_or = LoadCheckpoint(path);
   if (!model_or.ok()) return model_or.status();
-  SampledEvalResult result = EstimateOnPools(*model_or.ValueOrDie(), filter,
+  SampledEvalResult result = EstimateOnPools(*model_or.ValueOrDie(), protocol,
                                              split, pools, max_triples,
                                              cancel);
   if (result.cancelled) return Status::Cancelled("evaluation cancelled");
@@ -150,13 +176,23 @@ EvaluationFramework::EstimateAdaptiveCheckpointOnPools(
     const std::string& path, const FilterIndex& filter, Split split,
     const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive,
     const CancelToken* cancel) const {
+  const StaticFilteredProtocol protocol(dataset_->num_relations(), &filter);
+  return EstimateAdaptiveCheckpointOnPools(path, protocol, split, pools,
+                                           adaptive, cancel);
+}
+
+Result<AdaptiveEvalResult>
+EvaluationFramework::EstimateAdaptiveCheckpointOnPools(
+    const std::string& path, const EvalProtocol& protocol, Split split,
+    const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive,
+    const CancelToken* cancel) const {
   if (cancel != nullptr && cancel->cancelled()) {
     return Status::Cancelled("cancelled before checkpoint load");
   }
   auto model_or = LoadCheckpoint(path);
   if (!model_or.ok()) return model_or.status();
   AdaptiveEvalResult result = EstimateAdaptiveOnPools(
-      *model_or.ValueOrDie(), filter, split, pools, adaptive, cancel);
+      *model_or.ValueOrDie(), protocol, split, pools, adaptive, cancel);
   if (result.cancelled) return Status::Cancelled("evaluation cancelled");
   return {std::move(result)};
 }

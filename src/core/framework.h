@@ -67,6 +67,18 @@ class EvaluationFramework {
                                     int64_t max_triples = 0,
                                     const CancelToken* cancel = nullptr) const;
 
+  /// Protocol-parametric EstimateOnPools: evaluates under any EvalProtocol
+  /// (eval/protocol.h) instead of the implied static filtered one. Pools
+  /// stay relation-keyed (2|R| slots) for every protocol, so the same
+  /// DrawPools() draw serves static and temporal passes alike. With a
+  /// StaticFilteredProtocol this is bit-identical to the FilterIndex
+  /// overload above.
+  SampledEvalResult EstimateOnPools(const KgeModel& model,
+                                    const EvalProtocol& protocol, Split split,
+                                    const SampledCandidates& pools,
+                                    int64_t max_triples = 0,
+                                    const CancelToken* cancel = nullptr) const;
+
   /// Confidence-bounded variant of Estimate: draws fresh pools the same way
   /// and runs EvaluateAdaptive over them, stopping as soon as the target
   /// metric's confidence half-width reaches the requested width (see
@@ -81,6 +93,13 @@ class EvaluationFramework {
   /// `cancel` argument overrides `adaptive.cancel` when non-null).
   AdaptiveEvalResult EstimateAdaptiveOnPools(
       const KgeModel& model, const FilterIndex& filter, Split split,
+      const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive = {},
+      const CancelToken* cancel = nullptr) const;
+
+  /// Protocol-parametric EstimateAdaptiveOnPools; see the sampled variant
+  /// for the protocol contract.
+  AdaptiveEvalResult EstimateAdaptiveOnPools(
+      const KgeModel& model, const EvalProtocol& protocol, Split split,
       const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive = {},
       const CancelToken* cancel = nullptr) const;
 
@@ -110,9 +129,21 @@ class EvaluationFramework {
       const SampledCandidates& pools, int64_t max_triples = 0,
       const CancelToken* cancel = nullptr) const;
 
+  /// Protocol-parametric EstimateCheckpointOnPools.
+  Result<SampledEvalResult> EstimateCheckpointOnPools(
+      const std::string& path, const EvalProtocol& protocol, Split split,
+      const SampledCandidates& pools, int64_t max_triples = 0,
+      const CancelToken* cancel = nullptr) const;
+
   /// Adaptive counterpart of EstimateCheckpointOnPools.
   Result<AdaptiveEvalResult> EstimateAdaptiveCheckpointOnPools(
       const std::string& path, const FilterIndex& filter, Split split,
+      const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive = {},
+      const CancelToken* cancel = nullptr) const;
+
+  /// Protocol-parametric adaptive checkpoint estimate.
+  Result<AdaptiveEvalResult> EstimateAdaptiveCheckpointOnPools(
+      const std::string& path, const EvalProtocol& protocol, Split split,
       const SampledCandidates& pools, const AdaptiveEvalOptions& adaptive = {},
       const CancelToken* cancel = nullptr) const;
 

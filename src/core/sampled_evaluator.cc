@@ -47,9 +47,8 @@ void ValidateQueriedPools(const std::vector<Triple>& triples,
 
 int64_t ScoreSlotBlocks(const KgeModel& model,
                         const std::vector<Triple>& triples,
-                        const FilterIndex& filter,
+                        const EvalProtocol& protocol,
                         const SampledCandidates& candidates,
-                        int32_t num_relations,
                         const std::vector<SlotBlock>& blocks, size_t begin,
                         size_t end, const SampledEvalOptions& options,
                         SlotBlockScratch* scratch, double* ranks) {
@@ -61,10 +60,16 @@ int64_t ScoreSlotBlocks(const KgeModel& model,
     if (options.cancel != nullptr && options.cancel->cancelled()) break;
     const SlotBlock& block = blocks[b];
     const bool tail_dir = block.direction == QueryDirection::kTail;
-    const int32_t slot = SlotOf(block, num_relations);
+    const int32_t slot = block.pool_slot;
     const std::vector<int32_t>& pool = candidates.pools[slot];
     const size_t n = pool.size();
     const size_t qb = block.end - block.begin;
+    // Protocol blocks are kernel-homogeneous (same relation and, for
+    // temporal groups, same timestamp), so any block triple yields the
+    // block's kernel relation id — the plain relation for static models,
+    // the virtual (relation, time) id for time-aware ones.
+    const int32_t kernel_relation =
+        model.KernelRelation(triples[(*block.triple_idx)[block.begin]]);
     if (scratch->anchors.size() < qb) {
       scratch->anchors.resize(qb);
       scratch->truths.resize(qb);
@@ -90,16 +95,16 @@ int64_t ScoreSlotBlocks(const KgeModel& model,
       // Fused kernel: one query construction serves the pool matrix and
       // the per-query truth scores.
       model.ScoreBlock(scratch->anchors.data(), scratch->truths.data(), qb,
-                       block.relation, block.direction, scratch->prepared,
+                       kernel_relation, block.direction, scratch->prepared,
                        scratch->scores.data(),
                        scratch->truth_scores.data());
       pool_sorted = scratch->prepared.sorted;
     } else {
-      model.ScoreBatch(scratch->anchors.data(), qb, block.relation,
+      model.ScoreBatch(scratch->anchors.data(), qb, kernel_relation,
                        block.direction, pool.data(), n,
                        scratch->scores.data());
       model.ScorePairs(scratch->anchors.data(), scratch->truths.data(), qb,
-                       1, block.relation, block.direction,
+                       1, kernel_relation, block.direction,
                        scratch->truth_scores.data());
       pool_sorted = std::is_sorted(pool.begin(), pool.end());
     }
@@ -108,7 +113,7 @@ int64_t ScoreSlotBlocks(const KgeModel& model,
       const int32_t i = (*block.triple_idx)[block.begin + q];
       const Triple& triple = triples[i];
       const std::vector<int32_t>* answers =
-          filter.AnswersFor(triple, block.direction);
+          protocol.Answers(triple, block.direction);
       KGEVAL_CHECK(answers != nullptr);
       const double rank = FilteredRank(
           pool.data(), scratch->scores.data() + q * n, n,
@@ -122,7 +127,7 @@ int64_t ScoreSlotBlocks(const KgeModel& model,
 
 SampledEvalResult EvaluateSampled(const KgeModel& model,
                                   const Dataset& dataset,
-                                  const FilterIndex& filter, Split split,
+                                  const EvalProtocol& protocol, Split split,
                                   const SampledCandidates& candidates,
                                   const SampledEvalOptions& options) {
   WallTimer timer;
@@ -141,22 +146,23 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
 
   // Slot-major order: every query block shares one (relation, direction)
   // candidate pool, so the pool's embeddings are gathered once and whole
-  // query blocks are scored per kernel call.
-  const std::vector<std::vector<int32_t>> by_relation =
-      GroupByRelation(triples, num_triples, num_r);
-  const std::vector<SlotBlock> blocks =
-      BuildSlotBlocks(by_relation, kSampledQueryBlock);
+  // query blocks are scored per kernel call. The protocol owns the
+  // grouping and emission order; its contract is only that blocks sharing
+  // a pool slot are contiguous.
+  const EvalSchedule schedule =
+      protocol.BuildSchedule(triples, num_triples, kSampledQueryBlock);
   // Parallelism is over slot-aligned chunks, not raw block ranges: a chunk
   // boundary inside a slot would make both sides prepare the slot's pool.
   // The pass is its own TaskGroup, so a concurrent evaluation (another
   // model in an EvalSession, another session entirely) interleaves chunks
   // on the shared workers and neither pass waits on the other's work.
   TaskGroup group;
-  SubmitSlotChunks(&group, blocks, num_r, [&](size_t lo, size_t hi) {
+  SubmitSlotChunks(&group, schedule.blocks, [&](size_t lo, size_t hi) {
     SlotBlockScratch scratch;
     const int64_t local_scored =
-        ScoreSlotBlocks(model, triples, filter, candidates, num_r, blocks,
-                        lo, hi, options, &scratch, result.ranks.data());
+        ScoreSlotBlocks(model, triples, protocol, candidates,
+                        schedule.blocks, lo, hi, options, &scratch,
+                        result.ranks.data());
     scored.fetch_add(local_scored, std::memory_order_relaxed);
   });
   group.Wait();
@@ -178,7 +184,8 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
 
 SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
                                         const Dataset& dataset,
-                                        const FilterIndex& filter, Split split,
+                                        const EvalProtocol& protocol,
+                                        Split split,
                                         const SampledCandidates& candidates,
                                         const SampledEvalOptions& options) {
   WallTimer timer;
@@ -202,27 +209,28 @@ SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
         int64_t local_scored = 0;
         for (size_t i = lo; i < hi; ++i) {
           const Triple& triple = triples[i];
+          const int32_t kernel_relation = model.KernelRelation(triple);
           for (QueryDirection dir :
                {QueryDirection::kTail, QueryDirection::kHead}) {
             const bool tail_dir = dir == QueryDirection::kTail;
             const int32_t anchor = tail_dir ? triple.head : triple.tail;
             const int32_t truth = tail_dir ? triple.tail : triple.head;
-            const int32_t slot =
-                tail_dir ? triple.relation + num_r : triple.relation;
+            const int32_t slot = protocol.PoolSlotFor(triple, dir);
             const std::vector<int32_t>& pool = candidates.pools[slot];
             scores.resize(pool.size() + 1);
             // Score the pool plus the true answer in one model call.
-            model.ScoreCandidates(anchor, triple.relation, dir, pool.data(),
+            model.ScoreCandidates(anchor, kernel_relation, dir, pool.data(),
                                   pool.size(), scores.data());
-            model.ScoreCandidates(anchor, triple.relation, dir, &truth, 1,
+            model.ScoreCandidates(anchor, kernel_relation, dir, &truth, 1,
                                   scores.data() + pool.size());
             local_scored += static_cast<int64_t>(pool.size()) + 1;
             const std::vector<int32_t>* answers =
-                filter.AnswersFor(triple, dir);
+                protocol.Answers(triple, dir);
             KGEVAL_CHECK(answers != nullptr);
             const double rank = FilteredRank(
                 pool.data(), scores.data(), pool.size(), truth,
-                scores[pool.size()], *answers, options.tie);
+                scores[pool.size()], *answers, options.tie,
+                std::is_sorted(pool.begin(), pool.end()));
             result.ranks[i * 2 + (tail_dir ? 0 : 1)] = rank;
           }
         }
@@ -235,6 +243,26 @@ SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
   FillCi(options.ci_confidence, &result);
   result.eval_seconds = timer.Seconds();
   return result;
+}
+
+SampledEvalResult EvaluateSampled(const KgeModel& model,
+                                  const Dataset& dataset,
+                                  const FilterIndex& filter, Split split,
+                                  const SampledCandidates& candidates,
+                                  const SampledEvalOptions& options) {
+  const StaticFilteredProtocol protocol(dataset.num_relations(), &filter);
+  return EvaluateSampled(model, dataset, protocol, split, candidates,
+                         options);
+}
+
+SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
+                                        const Dataset& dataset,
+                                        const FilterIndex& filter, Split split,
+                                        const SampledCandidates& candidates,
+                                        const SampledEvalOptions& options) {
+  const StaticFilteredProtocol protocol(dataset.num_relations(), &filter);
+  return EvaluateSampledScalar(model, dataset, protocol, split, candidates,
+                               options);
 }
 
 }  // namespace kgeval

@@ -4,6 +4,7 @@
 #include "core/samplers.h"
 #include "eval/full_evaluator.h"
 #include "eval/metrics.h"
+#include "eval/protocol.h"
 #include "eval/slot_blocks.h"
 #include "graph/dataset.h"
 #include "models/kge_model.h"
@@ -66,18 +67,20 @@ struct SlotBlockScratch {
 };
 
 /// The shared incremental core of the sampled evaluators: scores blocks
-/// [begin, end) of a slot-contiguous schedule against `candidates` and
-/// writes each query's filtered rank into
-/// `ranks[2 * triple_index + (tail ? 0 : 1)]`. Thread-safe across disjoint
-/// block ranges (each thread brings its own scratch; rank slots are
-/// disjoint). Returns the number of candidate + truth scores computed.
-/// Ranks are bit-identical regardless of how the schedule is cut into
-/// ranges or threads.
+/// [begin, end) of a protocol's slot-contiguous schedule against
+/// `candidates` and writes each query's filtered rank into
+/// `ranks[2 * triple_index + (tail ? 0 : 1)]`. The protocol supplies the
+/// filtered answer sets; the kernel relation id of each block is derived
+/// from one of its triples via KgeModel::KernelRelation, so time-aware
+/// models score with their virtual relation ids while static models see
+/// the plain relation. Thread-safe across disjoint block ranges (each
+/// thread brings its own scratch; rank slots are disjoint). Returns the
+/// number of candidate + truth scores computed. Ranks are bit-identical
+/// regardless of how the schedule is cut into ranges or threads.
 int64_t ScoreSlotBlocks(const KgeModel& model,
                         const std::vector<Triple>& triples,
-                        const FilterIndex& filter,
+                        const EvalProtocol& protocol,
                         const SampledCandidates& candidates,
-                        int32_t num_relations,
                         const std::vector<SlotBlock>& blocks, size_t begin,
                         size_t end, const SampledEvalOptions& options,
                         SlotBlockScratch* scratch, double* ranks);
@@ -108,6 +111,15 @@ void ValidateQueriedPools(const std::vector<Triple>& triples,
 /// each re-prepare its pool.
 SampledEvalResult EvaluateSampled(const KgeModel& model,
                                   const Dataset& dataset,
+                                  const EvalProtocol& protocol, Split split,
+                                  const SampledCandidates& candidates,
+                                  const SampledEvalOptions& options = {});
+
+/// Static-protocol convenience: wraps `filter` in a StaticFilteredProtocol
+/// and evaluates. Bit-identical to the protocol overload with that
+/// protocol — and to the pre-protocol evaluator.
+SampledEvalResult EvaluateSampled(const KgeModel& model,
+                                  const Dataset& dataset,
                                   const FilterIndex& filter, Split split,
                                   const SampledCandidates& candidates,
                                   const SampledEvalOptions& options = {});
@@ -115,6 +127,14 @@ SampledEvalResult EvaluateSampled(const KgeModel& model,
 /// Reference triple-major implementation scoring one query at a time through
 /// ScoreCandidates. Kept as the baseline the batched path is benchmarked and
 /// parity-tested against; produces bit-identical ranks to EvaluateSampled.
+SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
+                                        const Dataset& dataset,
+                                        const EvalProtocol& protocol,
+                                        Split split,
+                                        const SampledCandidates& candidates,
+                                        const SampledEvalOptions& options = {});
+
+/// Static-protocol convenience for the scalar reference path.
 SampledEvalResult EvaluateSampledScalar(const KgeModel& model,
                                         const Dataset& dataset,
                                         const FilterIndex& filter, Split split,

@@ -11,15 +11,6 @@ namespace kgeval {
 
 double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
                     int32_t truth, float truth_score,
-                    const std::vector<int32_t>& answers, TieBreak tie) {
-  // Candidate pools arrive sorted (the SampledCandidates invariant), so
-  // taking the sorted branch is the common case.
-  return FilteredRank(candidates, scores, n, truth, truth_score, answers, tie,
-                      std::is_sorted(candidates, candidates + n));
-}
-
-double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
-                    int32_t truth, float truth_score,
                     const std::vector<int32_t>& answers, TieBreak tie,
                     bool candidates_sorted) {
   int64_t higher = 0;
@@ -85,7 +76,7 @@ constexpr size_t kQueryBlock = 16;
 
 FullEvalResult EvaluateFullRanking(const KgeModel& model,
                                    const Dataset& dataset,
-                                   const FilterIndex& filter, Split split,
+                                   const EvalProtocol& protocol, Split split,
                                    const FullEvalOptions& options) {
   const std::vector<Triple>& triples = dataset.split(split);
   int64_t num_triples = static_cast<int64_t>(triples.size());
@@ -98,14 +89,13 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
   result.ranks.assign(static_cast<size_t>(num_triples) * 2, 0.0);
 
   // Slot-major order, sharing the fused ScoreBlock kernel with the sampled
-  // evaluator: queries are grouped by (relation, direction) and the entity
-  // range acts as the shared candidate pool, swept in cache-sized tiles.
+  // evaluator: queries are grouped by the protocol and the entity range
+  // acts as the shared candidate pool, swept in cache-sized tiles.
   std::vector<int32_t> all_entities(num_entities);
   std::iota(all_entities.begin(), all_entities.end(), 0);
-  const std::vector<std::vector<int32_t>> by_relation =
-      GroupByRelation(triples, num_triples, dataset.num_relations());
-  const std::vector<SlotBlock> blocks =
-      BuildSlotBlocks(by_relation, kQueryBlock);
+  const EvalSchedule schedule =
+      protocol.BuildSchedule(triples, num_triples, kQueryBlock);
+  const std::vector<SlotBlock>& blocks = schedule.blocks;
 
   // Prepare every entity tile once per evaluation; each slot block then
   // sweeps the prepared tiles instead of re-gathering/transposing the same
@@ -140,12 +130,14 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
           const SlotBlock& block = blocks[b];
           const bool tail_dir = block.direction == QueryDirection::kTail;
           const size_t qb = block.end - block.begin;
+          const int32_t kernel_relation = model.KernelRelation(
+              triples[(*block.triple_idx)[block.begin]]);
           for (size_t q = 0; q < qb; ++q) {
             const Triple& triple =
                 triples[(*block.triple_idx)[block.begin + q]];
             anchors[q] = tail_dir ? triple.head : triple.tail;
             truths[q] = tail_dir ? triple.tail : triple.head;
-            answers[q] = filter.AnswersFor(triple, block.direction);
+            answers[q] = protocol.Answers(triple, block.direction);
             KGEVAL_CHECK(answers[q] != nullptr);
             higher[q] = 0;
             tied[q] = 0;
@@ -161,7 +153,7 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
             // ScorePairs pass would.
             model.ScoreBlock(
                 anchors.data(), ti == 0 ? truths.data() : nullptr, qb,
-                block.relation, block.direction, tiles[ti], scores.data(),
+                kernel_relation, block.direction, tiles[ti], scores.data(),
                 ti == 0 ? truth_scores.data() : nullptr);
             for (size_t q = 0; q < qb; ++q) {
               const std::vector<int32_t>& ans = *answers[q];
@@ -201,6 +193,14 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
 
   result.metrics = RankingMetrics::FromRanks(result.ranks);
   return result;
+}
+
+FullEvalResult EvaluateFullRanking(const KgeModel& model,
+                                   const Dataset& dataset,
+                                   const FilterIndex& filter, Split split,
+                                   const FullEvalOptions& options) {
+  const StaticFilteredProtocol protocol(dataset.num_relations(), &filter);
+  return EvaluateFullRanking(model, dataset, protocol, split, options);
 }
 
 }  // namespace kgeval

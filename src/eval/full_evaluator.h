@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "eval/metrics.h"
+#include "eval/protocol.h"
 #include "graph/dataset.h"
 #include "models/kge_model.h"
 
@@ -31,7 +32,17 @@ struct FullEvalResult {
 };
 
 /// Ranks every entity for every (h,r,?) and (?,r,t) query of `split`,
-/// filtering known true answers (train+valid+test). Multi-threaded.
+/// with the protocol supplying the filtered answer sets (and, through its
+/// schedule grouping, the kernel relation homogeneity time-aware models
+/// need). Multi-threaded.
+FullEvalResult EvaluateFullRanking(const KgeModel& model,
+                                   const Dataset& dataset,
+                                   const EvalProtocol& protocol, Split split,
+                                   const FullEvalOptions& options = {});
+
+/// Static-protocol convenience: filters known true answers
+/// (train+valid+test) regardless of timestamp; bit-identical to the
+/// pre-protocol evaluator.
 FullEvalResult EvaluateFullRanking(const KgeModel& model,
                                    const Dataset& dataset,
                                    const FilterIndex& filter, Split split,
@@ -51,13 +62,6 @@ double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
                     int32_t truth, float truth_score,
                     const std::vector<int32_t>& answers, TieBreak tie,
                     bool candidates_sorted);
-
-/// Convenience overload that sweeps `candidates` for sortedness first; for
-/// repeated ranking against one pool prefer the precomputed-sortedness
-/// overload above.
-double FilteredRank(const int32_t* candidates, const float* scores, size_t n,
-                    int32_t truth, float truth_score,
-                    const std::vector<int32_t>& answers, TieBreak tie);
 
 }  // namespace kgeval
 

@@ -1,0 +1,65 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+
+namespace kgeval {
+
+std::vector<std::vector<int32_t>> EvalProtocol::GroupQueries(
+    const std::vector<Triple>& triples, int64_t num_triples) const {
+  std::vector<std::vector<int32_t>> buckets(num_groups());
+  for (int64_t i = 0; i < num_triples; ++i) {
+    buckets[GroupOf(triples[i])].push_back(static_cast<int32_t>(i));
+  }
+  return buckets;
+}
+
+EvalSchedule StaticFilteredProtocol::BuildSchedule(
+    const std::vector<Triple>& triples, int64_t num_triples,
+    size_t query_block) const {
+  // Exactly the pre-protocol GroupByRelation + BuildSlotBlocks order — the
+  // schedule (and therefore every rank) is bit-identical to the evaluators
+  // before the protocol seam existed.
+  EvalSchedule schedule;
+  schedule.buckets = GroupQueries(triples, num_triples);
+  schedule.blocks =
+      BuildSlotBlocks(schedule.buckets, num_relations(), query_block);
+  return schedule;
+}
+
+TemporalFilteredProtocol::TemporalFilteredProtocol(
+    const Dataset& dataset, const TemporalFilterIndex* filter)
+    : EvalProtocol(dataset.num_relations()),
+      filter_(filter),
+      num_timestamps_(std::max<int32_t>(1, dataset.num_timestamps())) {}
+
+EvalSchedule TemporalFilteredProtocol::BuildSchedule(
+    const std::vector<Triple>& triples, int64_t num_triples,
+    size_t query_block) const {
+  EvalSchedule schedule;
+  schedule.buckets = GroupQueries(triples, num_triples);
+  // Pool-slot-major emission: for each relation, all timestamps of the
+  // tail direction, then all timestamps of the head direction. A
+  // per-group {tail, head} order would alternate the relation's two pool
+  // slots |T| times and re-prepare each candidate tile per timestamp;
+  // this order prepares each of the relation's two pools exactly once per
+  // chunk, independent of |T|.
+  for (int32_t r = 0; r < num_relations(); ++r) {
+    for (QueryDirection dir :
+         {QueryDirection::kTail, QueryDirection::kHead}) {
+      const int32_t slot = DomainRangeIndex(r, dir, num_relations());
+      for (int32_t tau = 0; tau < num_timestamps_; ++tau) {
+        const std::vector<int32_t>& idx =
+            schedule.buckets[r * num_timestamps_ + tau];
+        if (idx.empty()) continue;
+        for (size_t lo = 0; lo < idx.size(); lo += query_block) {
+          schedule.blocks.push_back(
+              {r, dir, &idx, lo, std::min(idx.size(), lo + query_block),
+               slot});
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace kgeval

@@ -17,38 +17,33 @@ std::vector<std::vector<int32_t>> GroupByRelation(
 
 std::vector<SlotBlock> BuildSlotBlocks(
     const std::vector<std::vector<int32_t>>& by_relation,
-    size_t query_block) {
+    int32_t num_relations, size_t query_block) {
   std::vector<SlotBlock> blocks;
   for (size_t r = 0; r < by_relation.size(); ++r) {
     const std::vector<int32_t>& idx = by_relation[r];
     if (idx.empty()) continue;
     for (QueryDirection dir :
          {QueryDirection::kTail, QueryDirection::kHead}) {
+      const int32_t slot =
+          DomainRangeIndex(static_cast<int32_t>(r), dir, num_relations);
       for (size_t lo = 0; lo < idx.size(); lo += query_block) {
         blocks.push_back({static_cast<int32_t>(r), dir, &idx, lo,
-                          std::min(idx.size(), lo + query_block)});
+                          std::min(idx.size(), lo + query_block), slot});
       }
     }
   }
   return blocks;
 }
 
-int32_t SlotOf(const SlotBlock& block, int32_t num_relations) {
-  return block.direction == QueryDirection::kTail
-             ? block.relation + num_relations
-             : block.relation;
-}
-
-std::vector<int32_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng) {
-  std::vector<int32_t> order(static_cast<size_t>(num_triples) * 2);
-  std::iota(order.begin(), order.end(), 0);
+std::vector<int64_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng) {
+  std::vector<int64_t> order(static_cast<size_t>(num_triples) * 2);
+  std::iota(order.begin(), order.end(), int64_t{0});
   rng->Shuffle(&order);
   return order;
 }
 
 std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
-    const std::vector<SlotBlock>& blocks, int32_t num_relations,
-    size_t max_chunks) {
+    const std::vector<SlotBlock>& blocks, size_t max_chunks) {
   std::vector<std::pair<size_t, size_t>> chunks;
   if (blocks.empty()) return chunks;
   max_chunks = std::max<size_t>(1, max_chunks);
@@ -61,10 +56,10 @@ std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
   const size_t piece = std::max(target, kMinSplitBlocks);
   size_t chunk_begin = 0;
   size_t run_begin = 0;  // First block of the current slot run.
-  int32_t run_slot = SlotOf(blocks[0], num_relations);
+  int32_t run_slot = blocks[0].pool_slot;
   for (size_t b = 1; b <= blocks.size(); ++b) {
     const bool slot_edge =
-        b == blocks.size() || SlotOf(blocks[b], num_relations) != run_slot;
+        b == blocks.size() || blocks[b].pool_slot != run_slot;
     if (!slot_edge) continue;
     // The run [run_begin, b) just ended. Oversized runs are cut into
     // piece-sized chunks of their own (still single-slot chunks); normal
@@ -84,7 +79,7 @@ std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
     }
     if (b < blocks.size()) {
       run_begin = b;
-      run_slot = SlotOf(blocks[b], num_relations);
+      run_slot = blocks[b].pool_slot;
     }
   }
   if (chunk_begin < blocks.size()) {
@@ -94,10 +89,9 @@ std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
 }
 
 void SubmitSlotChunks(TaskGroup* group, const std::vector<SlotBlock>& blocks,
-                      int32_t num_relations,
                       const std::function<void(size_t, size_t)>& fn) {
   const std::vector<std::pair<size_t, size_t>> chunks =
-      PartitionAtSlotBoundaries(blocks, num_relations,
+      PartitionAtSlotBoundaries(blocks,
                                 group->pool()->num_threads() * 4);
   for (const std::pair<size_t, size_t>& chunk : chunks) {
     const size_t lo = chunk.first;

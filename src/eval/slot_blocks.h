@@ -11,14 +11,21 @@
 
 namespace kgeval {
 
-/// One unit of slot-major evaluation work: a block of same-relation query
-/// indices, all scored in one (relation, direction) batched kernel call.
+/// One unit of slot-major evaluation work: a block of query indices that
+/// share a protocol group and direction, all scored in one batched kernel
+/// call. `relation` is the queries' dataset relation id; the kernel
+/// relation actually passed to the model may fold in more (a time-aware
+/// model's virtual relation id) and is derived from a block triple at
+/// scoring time. `pool_slot` is the block's index into
+/// SampledCandidates.pools — and the key prepared candidate tiles are
+/// reused under — which protocols keep contiguous in their schedules.
 struct SlotBlock {
   int32_t relation;
   QueryDirection direction;
-  const std::vector<int32_t>* triple_idx;  // Triples with this relation.
+  const std::vector<int32_t>* triple_idx;  // Triples of this group.
   size_t begin;                            // Block range within triple_idx.
   size_t end;
+  int32_t pool_slot;
 };
 
 /// Buckets the evaluated prefix of a split by relation. Both directions of
@@ -28,15 +35,13 @@ std::vector<std::vector<int32_t>> GroupByRelation(
     int32_t num_relations);
 
 /// Splits every non-empty relation bucket into per-direction blocks of at
-/// most `query_block` queries. The returned blocks hold pointers into
+/// most `query_block` queries, stamping each block's pool slot (tail
+/// queries rank the range slot `relation + num_relations`, head queries
+/// the domain slot `relation`). The returned blocks hold pointers into
 /// `by_relation`, which must outlive them.
 std::vector<SlotBlock> BuildSlotBlocks(
-    const std::vector<std::vector<int32_t>>& by_relation, size_t query_block);
-
-/// The (relation, direction) slot index of a block — the SampledCandidates
-/// pool index: tail queries rank the range slot (relation + num_relations),
-/// head queries the domain slot (relation).
-int32_t SlotOf(const SlotBlock& block, int32_t num_relations);
+    const std::vector<std::vector<int32_t>>& by_relation,
+    int32_t num_relations, size_t query_block);
 
 /// A uniformly shuffled order over all 2 * num_triples query ids of a
 /// split, where query id = 2 * triple_index + (0 for the tail query, 1 for
@@ -47,19 +52,20 @@ int32_t SlotOf(const SlotBlock& block, int32_t num_relations);
 /// interval. Deterministic given `rng`. Shuffling *queries* rather than
 /// slot blocks matters: block-granular rounds are cluster samples of
 /// same-relation queries whose ranks correlate, which biases small rounds
-/// and collapses the effective sample size behind the CI.
-std::vector<int32_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng);
+/// and collapses the effective sample size behind the CI. Ids are int64:
+/// the query count is twice the triple count, so a 32-bit id would already
+/// overflow past 2^30 triples.
+std::vector<int64_t> ShuffledQueryOrder(int64_t num_triples, Rng* rng);
 
 /// Partitions [0, blocks.size()) into at most ~`max_chunks` contiguous
-/// [begin, end) ranges whose boundaries coincide with slot boundaries, so a
-/// slot's blocks land in one chunk and its candidate pool is prepared once
-/// per chunk instead of once per arbitrary ParallelFor split. A slot run
-/// much longer than the target chunk size is split anyway (keeping load
+/// [begin, end) ranges whose boundaries coincide with pool-slot boundaries,
+/// so a slot's blocks land in one chunk and its candidate pool is prepared
+/// once per chunk instead of once per arbitrary ParallelFor split. A slot
+/// run much longer than the target chunk size is split anyway (keeping load
 /// balance; each piece still prepares only its own slot's pool once).
-/// `blocks` must be slot-contiguous, as BuildSlotBlocks emits them.
+/// `blocks` must be slot-contiguous, as protocol schedules emit them.
 std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
-    const std::vector<SlotBlock>& blocks, int32_t num_relations,
-    size_t max_chunks);
+    const std::vector<SlotBlock>& blocks, size_t max_chunks);
 
 /// Submits the slot-aligned chunks of `blocks` into `group`, one task per
 /// chunk calling `fn(chunk_begin, chunk_end)` — PartitionAtSlotBoundaries
@@ -71,7 +77,6 @@ std::vector<std::pair<size_t, size_t>> PartitionAtSlotBoundaries(
 /// concurrently, once per chunk; per-chunk state (scratch buffers) belongs
 /// inside `fn`, which chunk-aligned slots keep prepare-once-per-slot.
 void SubmitSlotChunks(TaskGroup* group, const std::vector<SlotBlock>& blocks,
-                      int32_t num_relations,
                       const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace kgeval

@@ -10,18 +10,32 @@ namespace kgeval {
 Dataset::Dataset(std::string name, int32_t num_entities, int32_t num_relations,
                  std::vector<Triple> train, std::vector<Triple> valid,
                  std::vector<Triple> test, TypeStore types)
+    : Dataset(std::move(name), num_entities, num_relations,
+              /*num_timestamps=*/0, std::move(train), std::move(valid),
+              std::move(test), std::move(types)) {}
+
+Dataset::Dataset(std::string name, int32_t num_entities, int32_t num_relations,
+                 int32_t num_timestamps, std::vector<Triple> train,
+                 std::vector<Triple> valid, std::vector<Triple> test,
+                 TypeStore types)
     : name_(std::move(name)),
       num_entities_(num_entities),
       num_relations_(num_relations),
+      num_timestamps_(num_timestamps),
       train_(std::move(train)),
       valid_(std::move(valid)),
       test_(std::move(test)),
       types_(std::move(types)) {
+  KGEVAL_CHECK(num_timestamps_ >= 0);
+  // Static datasets carry time 0 on every triple; temporal ones must stay
+  // inside the declared vocabulary.
+  const int32_t time_bound = num_timestamps_ > 0 ? num_timestamps_ : 1;
   for (const auto* split : {&train_, &valid_, &test_}) {
     for (const Triple& t : *split) {
       KGEVAL_CHECK(t.head >= 0 && t.head < num_entities_);
       KGEVAL_CHECK(t.tail >= 0 && t.tail < num_entities_);
       KGEVAL_CHECK(t.relation >= 0 && t.relation < num_relations_);
+      KGEVAL_CHECK(t.time >= 0 && t.time < time_bound);
     }
   }
 }
@@ -38,6 +52,13 @@ std::string Dataset::RelationLabel(int32_t r) const {
     return relation_labels_[r];
   }
   return StrFormat("R%d", r);
+}
+
+std::string Dataset::TimestampLabel(int32_t t) const {
+  if (t >= 0 && t < static_cast<int32_t>(timestamp_labels_.size())) {
+    return timestamp_labels_[t];
+  }
+  return StrFormat("T%d", t);
 }
 
 FilterIndex::FilterIndex(const Dataset& dataset) {
@@ -85,6 +106,41 @@ const std::vector<int32_t>* FilterIndex::AnswersFor(
     return TailsFor(triple.head, triple.relation);
   }
   return HeadsFor(triple.relation, triple.tail);
+}
+
+TemporalFilterIndex::TemporalFilterIndex(const Dataset& dataset) {
+  for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Triple& t : dataset.split(s)) {
+      tails_[Key{t.head, t.relation, t.time}].push_back(t.tail);
+      heads_[Key{t.relation, t.tail, t.time}].push_back(t.head);
+    }
+  }
+  auto sort_dedup = [](std::vector<int32_t>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  for (auto& [key, v] : tails_) sort_dedup(&v);
+  for (auto& [key, v] : heads_) sort_dedup(&v);
+}
+
+const std::vector<int32_t>* TemporalFilterIndex::TailsAt(
+    int32_t head, int32_t relation, int32_t time) const {
+  auto it = tails_.find(Key{head, relation, time});
+  return it == tails_.end() ? nullptr : &it->second;
+}
+
+const std::vector<int32_t>* TemporalFilterIndex::HeadsAt(
+    int32_t relation, int32_t tail, int32_t time) const {
+  auto it = heads_.find(Key{relation, tail, time});
+  return it == heads_.end() ? nullptr : &it->second;
+}
+
+const std::vector<int32_t>* TemporalFilterIndex::AnswersFor(
+    const Triple& triple, QueryDirection direction) const {
+  if (direction == QueryDirection::kTail) {
+    return TailsAt(triple.head, triple.relation, triple.time);
+  }
+  return HeadsAt(triple.relation, triple.tail, triple.time);
 }
 
 ObservedSets::ObservedSets(const Dataset& dataset,

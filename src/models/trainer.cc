@@ -29,6 +29,10 @@ double RunChunk(const Dataset& dataset, const std::vector<int32_t>& order,
   double loss = 0.0;
   for (size_t idx = lo; idx < hi; ++idx) {
     const Triple& pos = dataset.train()[order[idx]];
+    // The kernel relation id: the plain relation for static models, the
+    // virtual (relation, time) id for time-aware ones. Corruptions keep
+    // the positive's relation and timestamp, so one id serves them all.
+    const int32_t kernel_relation = model->KernelRelation(pos);
     for (QueryDirection dir : {QueryDirection::kTail, QueryDirection::kHead}) {
       const bool tail_dir = dir == QueryDirection::kTail;
       const int32_t anchor = tail_dir ? pos.head : pos.tail;
@@ -47,12 +51,12 @@ double RunChunk(const Dataset& dataset, const std::vector<int32_t>& order,
         }
         candidates[1 + k] = neg;
       }
-      model->ScoreCandidates(anchor, pos.relation, dir, candidates.data(),
+      model->ScoreCandidates(anchor, kernel_relation, dir, candidates.data(),
                              candidates.size(), scores.data());
       // Positive term.
       loss -= LogSigmoid(scores[0]);
       const float dpos = Sigmoid(scores[0]) - 1.0f;
-      model->UpdateTriple(pos.head, pos.relation, pos.tail, dir, dpos);
+      model->UpdateTriple(pos.head, kernel_relation, pos.tail, dir, dpos);
       // Negative terms.
       for (int32_t k = 0; k < num_negatives; ++k) {
         const float s_neg = scores[1 + k];
@@ -64,7 +68,7 @@ double RunChunk(const Dataset& dataset, const std::vector<int32_t>& order,
         } else {
           neg.head = candidates[1 + k];
         }
-        model->UpdateTriple(neg.head, neg.relation, neg.tail, dir, dneg);
+        model->UpdateTriple(neg.head, kernel_relation, neg.tail, dir, dneg);
       }
     }
   }

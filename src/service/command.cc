@@ -10,7 +10,8 @@ const std::vector<CommandSpec>& CommandTable() {
   static const std::vector<CommandSpec> kTable = {
       {Verb::kPing, "PING", 0, 0, false, "PING"},
       {Verb::kLoad, "LOAD", 1, 2, false, "LOAD <dataset> [valid|test]"},
-      {Verb::kEval, "EVAL", 1, 2, false, "EVAL <ckpt> [half_width]"},
+      {Verb::kEval, "EVAL", 1, 3, false,
+       "EVAL <ckpt> [half_width] [protocol]"},
       {Verb::kSweep, "SWEEP", 1, 1, true, "SWEEP <dir>"},
       {Verb::kWatch, "WATCH", 2, 3, true, "WATCH <dir> <count> [timeout_s]"},
       {Verb::kStats, "STATS", 0, 0, false, "STATS"},

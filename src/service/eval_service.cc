@@ -176,6 +176,12 @@ void EvalService::ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit) {
   loaded->synth =
       std::make_unique<SynthOutput>(std::move(synth).ValueOrDie());
   loaded->filter = std::make_unique<FilterIndex>(loaded->synth->dataset);
+  loaded->temporal_filter =
+      std::make_unique<TemporalFilterIndex>(loaded->synth->dataset);
+  loaded->static_protocol = std::make_unique<StaticFilteredProtocol>(
+      loaded->synth->dataset, loaded->filter.get());
+  loaded->temporal_protocol = std::make_unique<TemporalFilteredProtocol>(
+      loaded->synth->dataset, loaded->temporal_filter.get());
   auto session =
       EvalSession::Create(&loaded->synth->dataset, loaded->filter.get(),
                           ServiceFrameworkOptions(), split);
@@ -211,20 +217,49 @@ void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit,
   }
   const std::string& path = cmd.args[0];
   const EvaluationFramework& framework = state->session->framework();
-  if (cmd.args.size() > 1) {
-    double half_width = 0.0;
-    if (!ParseDouble(cmd.args[1], &half_width) || half_width <= 0.0 ||
-        half_width >= 1.0) {
+  // Optional arguments, in order: a numeric half_width (switching to the
+  // adaptive estimator), then a protocol name. A lone non-numeric token is
+  // a protocol name, so `EVAL <ckpt> temporal` works without a half_width.
+  bool adaptive_requested = false;
+  double half_width = 0.0;
+  size_t arg = 1;
+  if (cmd.args.size() > 1 && ParseDouble(cmd.args[1], &half_width)) {
+    if (half_width <= 0.0 || half_width >= 1.0) {
       EmitError(emit, "bad-argument",
                 StrFormat("half_width must be in (0, 1), got %s",
                           cmd.args[1].c_str()));
       return;
     }
+    adaptive_requested = true;
+    arg = 2;
+  }
+  const EvalProtocol* protocol = state->static_protocol.get();
+  if (arg < cmd.args.size()) {
+    const std::string& protocol_name = cmd.args[arg];
+    if (arg + 1 < cmd.args.size()) {
+      EmitError(emit, "bad-argument",
+                StrFormat("unexpected argument %s (half_width must precede "
+                          "the protocol name)",
+                          cmd.args[arg + 1].c_str()));
+      return;
+    }
+    if (protocol_name == "static") {
+      protocol = state->static_protocol.get();
+    } else if (protocol_name == "temporal") {
+      protocol = state->temporal_protocol.get();
+    } else {
+      EmitError(emit, "unknown-protocol",
+                StrFormat("protocol must be static|temporal, got %s",
+                          protocol_name.c_str()));
+      return;
+    }
+  }
+  if (adaptive_requested) {
     AdaptiveEvalOptions adaptive;
     adaptive.target_half_width = half_width;
     auto result = framework.EstimateAdaptiveCheckpointOnPools(
-        path, *state->filter, state->split, state->session->pools(),
-        adaptive, cancel);
+        path, *protocol, state->split, state->session->pools(), adaptive,
+        cancel);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kCancelled &&
           cancel != nullptr) {
@@ -239,7 +274,7 @@ void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit,
     return;
   }
   auto result = framework.EstimateCheckpointOnPools(
-      path, *state->filter, state->split, state->session->pools(),
+      path, *protocol, state->split, state->session->pools(),
       /*max_triples=*/0, cancel);
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kCancelled &&

@@ -125,11 +125,11 @@ TEST(RankingAccumulatorTest, CiShrinksWithSampleSize) {
 
 TEST(SlotBlocksTest, ShuffledQueryOrderIsAPermutationOfAllQueries) {
   Rng rng(5);
-  const std::vector<int32_t> order = ShuffledQueryOrder(100, &rng);
+  const std::vector<int64_t> order = ShuffledQueryOrder(100, &rng);
   ASSERT_EQ(order.size(), 200u);
-  std::vector<int32_t> sorted = order;
+  std::vector<int64_t> sorted = order;
   std::sort(sorted.begin(), sorted.end());
-  for (int32_t q = 0; q < 200; ++q) EXPECT_EQ(sorted[q], q);
+  for (int64_t q = 0; q < 200; ++q) EXPECT_EQ(sorted[q], q);
   // Deterministic per seed, different across seeds.
   Rng same(5), other(6);
   EXPECT_EQ(ShuffledQueryOrder(100, &same), order);
@@ -142,10 +142,10 @@ TEST(SlotBlocksTest, PartitionBoundariesAlignToSlots) {
   by_relation[0].resize(5 * 16);
   by_relation[1].resize(1 * 16);
   by_relation[2].resize(3 * 16);
-  const std::vector<SlotBlock> blocks = BuildSlotBlocks(by_relation, 16);
+  const std::vector<SlotBlock> blocks = BuildSlotBlocks(by_relation, 3, 16);
   ASSERT_EQ(blocks.size(), 18u);  // (5 + 1 + 3) * 2 directions.
   for (size_t max_chunks : {1u, 2u, 4u, 7u, 100u}) {
-    const auto chunks = PartitionAtSlotBoundaries(blocks, 3, max_chunks);
+    const auto chunks = PartitionAtSlotBoundaries(blocks, max_chunks);
     // Chunks tile [0, blocks.size()) contiguously.
     ASSERT_FALSE(chunks.empty());
     size_t expected_lo = 0;
@@ -160,7 +160,7 @@ TEST(SlotBlocksTest, PartitionBoundariesAlignToSlots) {
     // longest run is 5 blocks.
     for (size_t c = 0; c + 1 < chunks.size(); ++c) {
       const size_t edge = chunks[c].second;
-      EXPECT_NE(SlotOf(blocks[edge - 1], 3), SlotOf(blocks[edge], 3))
+      EXPECT_NE(blocks[edge - 1].pool_slot, blocks[edge].pool_slot)
           << "max_chunks=" << max_chunks << " split a slot at " << edge;
     }
   }
@@ -171,9 +171,9 @@ TEST(SlotBlocksTest, PartitionSplitsOversizedRuns) {
   // cut the runs, in pieces of at least the 4-block floor.
   std::vector<std::vector<int32_t>> by_relation(1);
   by_relation[0].resize(64 * 16);
-  const std::vector<SlotBlock> blocks = BuildSlotBlocks(by_relation, 16);
+  const std::vector<SlotBlock> blocks = BuildSlotBlocks(by_relation, 1, 16);
   ASSERT_EQ(blocks.size(), 128u);
-  const auto chunks = PartitionAtSlotBoundaries(blocks, 1, 16);
+  const auto chunks = PartitionAtSlotBoundaries(blocks, 16);
   EXPECT_GT(chunks.size(), 2u);
   size_t expected_lo = 0;
   for (const auto& [lo, hi] : chunks) {

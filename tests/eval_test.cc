@@ -87,7 +87,7 @@ TEST(FilteredRankTest, CountsHigherAndFiltered) {
   const float scores[5] = {9, 7, 5, 3, 1};
   const std::vector<int32_t> answers = {1, 2};
   EXPECT_DOUBLE_EQ(FilteredRank(candidates, scores, 5, 2, 5.0f, answers,
-                                TieBreak::kMean),
+                                TieBreak::kMean, /*candidates_sorted=*/true),
                    2.0);
 }
 
@@ -97,13 +97,15 @@ TEST(FilteredRankTest, TiesUseConvention) {
   const std::vector<int32_t> answers = {0};
   // Truth = 0 with score 5; candidates 1 and 2 tie with it.
   EXPECT_DOUBLE_EQ(FilteredRank(candidates, scores, 4, 0, 5.0f, answers,
-                                TieBreak::kMean),
+                                TieBreak::kMean, /*candidates_sorted=*/true),
                    2.0);
   EXPECT_DOUBLE_EQ(FilteredRank(candidates, scores, 4, 0, 5.0f, answers,
-                                TieBreak::kOptimistic),
+                                TieBreak::kOptimistic,
+                                /*candidates_sorted=*/true),
                    1.0);
   EXPECT_DOUBLE_EQ(FilteredRank(candidates, scores, 4, 0, 5.0f, answers,
-                                TieBreak::kPessimistic),
+                                TieBreak::kPessimistic,
+                                /*candidates_sorted=*/true),
                    3.0);
 }
 
@@ -112,7 +114,7 @@ TEST(FilteredRankTest, TruthDuplicatesInPoolIgnored) {
   const float scores[3] = {5, 5, 9};
   const std::vector<int32_t> answers = {2};
   EXPECT_DOUBLE_EQ(FilteredRank(candidates, scores, 3, 2, 5.0f, answers,
-                                TieBreak::kMean),
+                                TieBreak::kMean, /*candidates_sorted=*/true),
                    2.0);
 }
 

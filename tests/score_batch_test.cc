@@ -20,7 +20,7 @@ namespace {
 constexpr ModelType kAllModels[] = {
     ModelType::kTransE, ModelType::kDistMult, ModelType::kComplEx,
     ModelType::kRescal, ModelType::kRotatE,   ModelType::kTuckEr,
-    ModelType::kConvE};
+    ModelType::kConvE,  ModelType::kTComplEx};
 
 ModelOptions SmallOptions() {
   ModelOptions options;

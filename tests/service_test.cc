@@ -165,8 +165,8 @@ TEST_F(ServiceTest, ProtocolDocCoversEveryVerbAndErrorCode) {
   // Every error code the service emits must be in the code table.
   for (const char* code :
        {"line-too-long", "unknown-verb", "arity", "bad-argument",
-        "no-dataset", "eval-failed", "io", "internal", "busy",
-        "deadline-exceeded", "cancelled"}) {
+        "no-dataset", "unknown-protocol", "eval-failed", "io", "internal",
+        "busy", "deadline-exceeded", "cancelled"}) {
     EXPECT_NE(doc.find("`" + std::string(code) + "`"), std::string::npos)
         << "PROTOCOL.md lacks error code " << code;
   }
@@ -246,6 +246,34 @@ TEST_F(ServiceTest, EvalReturnsMetricsAndAdaptiveVariantConverges) {
             0u);
   EXPECT_EQ(Request(client, "EVAL " + CkptDir() + "/missing.ckpt")
                 .rfind("ERR eval-failed", 0),
+            0u);
+}
+
+TEST_F(ServiceTest, EvalProtocolArgumentSelectsProtocolFamily) {
+  LineClient client = ConnectAndGreet();
+  auto base = ParseKeyValues(Request(client, "EVAL " + CkptPath(0)));
+  // Naming the default protocol changes nothing.
+  auto statics =
+      ParseKeyValues(Request(client, "EVAL " + CkptPath(0) + " static"));
+  EXPECT_EQ(base["mrr"], statics["mrr"]);
+  EXPECT_EQ(base["scored"], statics["scored"]);
+  // The loaded preset carries no timestamps, so the temporal protocol
+  // degenerates to static semantics: identical metrics on the same pools.
+  auto temporal =
+      ParseKeyValues(Request(client, "EVAL " + CkptPath(0) + " temporal"));
+  EXPECT_EQ(base["mrr"], temporal["mrr"]);
+  EXPECT_EQ(base["scored"], temporal["scored"]);
+  // half_width and protocol compose (half_width first).
+  const std::string adaptive =
+      Request(client, "EVAL " + CkptPath(0) + " 0.5 temporal");
+  ASSERT_EQ(adaptive.rfind("OK ", 0), 0u) << adaptive;
+  EXPECT_TRUE(ParseKeyValues(adaptive).count("converged"));
+  // Unknown names are a dedicated error code; argument order is enforced.
+  EXPECT_EQ(Request(client, "EVAL " + CkptPath(0) + " chronological")
+                .rfind("ERR unknown-protocol", 0),
+            0u);
+  EXPECT_EQ(Request(client, "EVAL " + CkptPath(0) + " temporal 0.5")
+                .rfind("ERR bad-argument", 0),
             0u);
 }
 
