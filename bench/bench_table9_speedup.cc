@@ -14,6 +14,7 @@
 #include "core/framework.h"
 #include "eval/full_evaluator.h"
 #include "kp/kp_metric.h"
+#include "la/kernels/kernels.h"
 #include "stats/correlation.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -155,7 +156,8 @@ void WriteJson(const std::vector<EngineRow>& engines,
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"engines\": [\n");
+  std::fprintf(f, "{\n  \"kernels\": \"%s\",\n  \"engines\": [\n",
+               JsonEscape(kgeval::ActiveScoreKernelName()).c_str());
   for (size_t i = 0; i < engines.size(); ++i) {
     const EngineRow& r = engines[i];
     std::fprintf(
@@ -191,6 +193,7 @@ void WriteJson(const std::vector<EngineRow>& engines,
 int main(int argc, char** argv) {
   using namespace kgeval;
   const bench::BenchArgs args = bench::ParseArgs(argc, argv);
+  std::printf("score kernels: %s\n", ActiveScoreKernelName());
   std::vector<EngineRow> engine_rows;
   ReportEngineComparison(args, &engine_rows);
   std::vector<std::string> datasets = {"codex-s", "codex-m",  "codex-l",

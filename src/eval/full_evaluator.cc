@@ -1,6 +1,7 @@
 #include "eval/full_evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "eval/slot_blocks.h"
@@ -100,96 +101,192 @@ FullEvalResult EvaluateFullRanking(const KgeModel& model,
   // Prepare every entity tile once per evaluation; each slot block then
   // sweeps the prepared tiles instead of re-gathering/transposing the same
   // entity rows per block (the dominant per-block overhead PR 1 paid).
+  // One TaskGroup task per tile: the prepare is pure per-tile work, and a
+  // concurrent evaluation interleaves its own tiles on the shared workers
+  // instead of waiting on this pass's prepare barrier.
   const size_t tile_size = std::max<size_t>(1, options.entity_tile);
   const size_t num_tiles =
       (static_cast<size_t>(num_entities) + tile_size - 1) / tile_size;
   std::vector<CandidateBlock> tiles(num_tiles);
-  ParallelFor(
-      0, num_tiles,
-      [&](size_t lo, size_t hi) {
-        for (size_t t = lo; t < hi; ++t) {
-          const size_t e0 = t * tile_size;
-          const size_t e1 =
-              std::min(static_cast<size_t>(num_entities), e0 + tile_size);
-          model.PrepareCandidates(all_entities.data() + e0, e1 - e0,
-                                  &tiles[t]);
-        }
-      },
-      /*min_chunk=*/1);
+  TaskGroup prepare_group;
+  for (size_t t = 0; t < num_tiles; ++t) {
+    prepare_group.Submit([&, t] {
+      const size_t e0 = t * tile_size;
+      const size_t e1 =
+          std::min(static_cast<size_t>(num_entities), e0 + tile_size);
+      model.PrepareCandidates(all_entities.data() + e0, e1 - e0, &tiles[t]);
+      // The int8 sidecar rides the same once-per-evaluation amortization
+      // as the gather; models without a kernel surface never set
+      // `prepared`, which keeps them on the exact unscreened sweep.
+      if (options.screening && tiles[t].prepared) {
+        QuantizeCandidateBlock(&tiles[t]);
+      }
+    });
+  }
+  prepare_group.Wait();
+  const bool screened = num_tiles > 0 && tiles[0].quantized;
 
-  ParallelFor(
-      0, blocks.size(),
-      [&](size_t block_lo, size_t block_hi) {
-        std::vector<int32_t> anchors(kQueryBlock), truths(kQueryBlock);
-        std::vector<float> truth_scores(kQueryBlock);
-        std::vector<float> scores(kQueryBlock * tile_size);
-        std::vector<const std::vector<int32_t>*> answers(kQueryBlock);
-        std::vector<int64_t> higher(kQueryBlock), tied(kQueryBlock);
-        std::vector<size_t> cursor(kQueryBlock);
-        for (size_t b = block_lo; b < block_hi; ++b) {
-          const SlotBlock& block = blocks[b];
-          const bool tail_dir = block.direction == QueryDirection::kTail;
-          const size_t qb = block.end - block.begin;
-          const int32_t kernel_relation = model.KernelRelation(
-              triples[(*block.triple_idx)[block.begin]]);
+  std::atomic<int64_t> screen_queries{0}, screen_screened{0},
+      screen_rescored{0}, screen_tiles_skipped{0};
+  // Slot-aligned chunks on an explicit TaskGroup, like the sampled
+  // evaluator: the pass waits only on its own chunks, and chunk boundaries
+  // coincide with slot boundaries so per-chunk query state never straddles
+  // a kernel-relation change.
+  TaskGroup group;
+  SubmitSlotChunks(&group, blocks, [&](size_t block_lo, size_t block_hi) {
+    std::vector<int32_t> anchors(kQueryBlock), truths(kQueryBlock);
+    std::vector<float> truth_scores(kQueryBlock);
+    std::vector<float> scores(kQueryBlock * tile_size);
+    std::vector<const std::vector<int32_t>*> answers(kQueryBlock);
+    std::vector<int64_t> higher(kQueryBlock), tied(kQueryBlock);
+    std::vector<size_t> cursor(kQueryBlock);
+    std::vector<char> tile_dead(kQueryBlock);
+    ScreenScratch screen_scratch;
+    ScreenStats stats;
+    for (size_t b = block_lo; b < block_hi; ++b) {
+      const SlotBlock& block = blocks[b];
+      const bool tail_dir = block.direction == QueryDirection::kTail;
+      const size_t qb = block.end - block.begin;
+      const int32_t kernel_relation = model.KernelRelation(
+          triples[(*block.triple_idx)[block.begin]]);
+      for (size_t q = 0; q < qb; ++q) {
+        const Triple& triple =
+            triples[(*block.triple_idx)[block.begin + q]];
+        anchors[q] = tail_dir ? triple.head : triple.tail;
+        truths[q] = tail_dir ? triple.tail : triple.head;
+        answers[q] = protocol.Answers(triple, block.direction);
+        KGEVAL_CHECK(answers[q] != nullptr);
+        higher[q] = 0;
+        tied[q] = 0;
+        cursor[q] = 0;
+      }
+      if (screened) {
+        // Screened sweep: one query construction serves the truth scores,
+        // every tile's skip test, and every band re-score.
+        const BatchKernel kind = model.batch_kernel();
+        const float eps = model.batch_kernel_eps();
+        model.BuildKernelQueries(anchors.data(), qb, kernel_relation,
+                                 block.direction, &screen_scratch.queries);
+        const Matrix& queries = screen_scratch.queries;
+        const size_t dim = queries.cols();
+        for (size_t q = 0; q < qb; ++q) {
+          model.ScoreWithQuery(queries, q, &truths[q], 1,
+                               &truth_scores[q]);
+        }
+        stats.queries += static_cast<int64_t>(qb);
+        for (size_t ti = 0; ti < num_tiles; ++ti) {
+          const CandidateBlock& tile = tiles[ti];
+          const size_t tn = tile.size();
+          // Truth-threshold early termination: a tile whose envelope upper
+          // bound sits strictly below a query's truth score cannot hold a
+          // higher or tied candidate for it; when that is true of every
+          // query of the block, the tile is never even swept.
+          size_t active = 0;
           for (size_t q = 0; q < qb; ++q) {
-            const Triple& triple =
-                triples[(*block.triple_idx)[block.begin + q]];
-            anchors[q] = tail_dir ? triple.head : triple.tail;
-            truths[q] = tail_dir ? triple.tail : triple.head;
-            answers[q] = protocol.Answers(triple, block.direction);
-            KGEVAL_CHECK(answers[q] != nullptr);
-            higher[q] = 0;
-            tied[q] = 0;
-            cursor[q] = 0;
+            const float ub =
+                TileScoreUpperBound(kind, queries.Row(q), dim, tile, eps);
+            tile_dead[q] = ub < truth_scores[q];
+            if (!tile_dead[q]) ++active;
           }
-          for (size_t ti = 0; ti < num_tiles; ++ti) {
-            const int32_t e0 = static_cast<int32_t>(ti * tile_size);
-            const int32_t e1 = std::min(
-                num_entities, e0 + static_cast<int32_t>(tile_size));
-            const size_t tile = static_cast<size_t>(e1 - e0);
-            // The first tile's fused call also emits the truth scores, so
-            // the block runs one query construction fewer than a separate
-            // ScorePairs pass would.
-            model.ScoreBlock(
-                anchors.data(), ti == 0 ? truths.data() : nullptr, qb,
-                kernel_relation, block.direction, tiles[ti], scores.data(),
-                ti == 0 ? truth_scores.data() : nullptr);
-            for (size_t q = 0; q < qb; ++q) {
-              const std::vector<int32_t>& ans = *answers[q];
-              const float truth_score = truth_scores[q];
-              const float* row = scores.data() + q * tile;
-              // Walk the tile in order, advancing a cursor through the
-              // sorted answers list instead of binary-searching per entity.
-              size_t cur = cursor[q];
-              int64_t h = 0, t = 0;
-              for (int32_t e = e0; e < e1; ++e) {
-                while (cur < ans.size() && ans[cur] < e) ++cur;
-                if (cur < ans.size() && ans[cur] == e) {
-                  continue;  // Filtered (includes e == truth).
-                }
-                const float s = row[e - e0];
-                if (s > truth_score) {
-                  ++h;
-                } else if (s == truth_score) {
-                  ++t;
-                }
+          if (active == 0) {
+            ++stats.tiles_skipped;
+            continue;
+          }
+          ScreenApproxBlock(model, queries, qb, tile, &screen_scratch);
+          stats.screened += static_cast<int64_t>(qb) * tn;
+          for (size_t q = 0; q < qb; ++q) {
+            if (tile_dead[q]) continue;
+            const float bound =
+                ScreenErrorBound(kind, queries.Row(q), dim, tile);
+            const float truth_score = truth_scores[q];
+            const float* approx = screen_scratch.approx.data() + q * tn;
+            screen_scratch.band_ids.clear();
+            for (size_t c = 0; c < tn; ++c) {
+              if (approx[c] + bound >= truth_score) {
+                screen_scratch.band_ids.push_back(tile.ids[c]);
               }
-              cursor[q] = cur;
-              higher[q] += h;
-              tied[q] += t;
             }
-          }
-          for (size_t q = 0; q < qb; ++q) {
-            const double rank =
-                RankFromCounts(higher[q], tied[q], options.tie);
-            const size_t i =
-                static_cast<size_t>((*block.triple_idx)[block.begin + q]);
-            result.ranks[i * 2 + (tail_dir ? 0 : 1)] = rank;
+            const size_t band = screen_scratch.band_ids.size();
+            screen_scratch.band_scores.resize(band);
+            model.ScoreWithQuery(queries, q,
+                                 screen_scratch.band_ids.data(), band,
+                                 screen_scratch.band_scores.data());
+            const std::vector<int32_t>& ans = *answers[q];
+            for (size_t c = 0; c < band; ++c) {
+              const int32_t e = screen_scratch.band_ids[c];
+              if (e == truths[q]) continue;
+              if (std::binary_search(ans.begin(), ans.end(), e)) continue;
+              const float s = screen_scratch.band_scores[c];
+              if (s > truth_score) {
+                ++higher[q];
+              } else if (s == truth_score) {
+                ++tied[q];
+              }
+            }
+            stats.rescored += static_cast<int64_t>(band);
           }
         }
-      },
-      /*min_chunk=*/1);
+      } else {
+        for (size_t ti = 0; ti < num_tiles; ++ti) {
+          const int32_t e0 = static_cast<int32_t>(ti * tile_size);
+          const int32_t e1 = std::min(
+              num_entities, e0 + static_cast<int32_t>(tile_size));
+          const size_t tile = static_cast<size_t>(e1 - e0);
+          // The first tile's fused call also emits the truth scores, so
+          // the block runs one query construction fewer than a separate
+          // ScorePairs pass would.
+          model.ScoreBlock(
+              anchors.data(), ti == 0 ? truths.data() : nullptr, qb,
+              kernel_relation, block.direction, tiles[ti], scores.data(),
+              ti == 0 ? truth_scores.data() : nullptr);
+          for (size_t q = 0; q < qb; ++q) {
+            const std::vector<int32_t>& ans = *answers[q];
+            const float truth_score = truth_scores[q];
+            const float* row = scores.data() + q * tile;
+            // Walk the tile in order, advancing a cursor through the
+            // sorted answers list instead of binary-searching per entity.
+            size_t cur = cursor[q];
+            int64_t h = 0, t = 0;
+            for (int32_t e = e0; e < e1; ++e) {
+              while (cur < ans.size() && ans[cur] < e) ++cur;
+              if (cur < ans.size() && ans[cur] == e) {
+                continue;  // Filtered (includes e == truth).
+              }
+              const float s = row[e - e0];
+              if (s > truth_score) {
+                ++h;
+              } else if (s == truth_score) {
+                ++t;
+              }
+            }
+            cursor[q] = cur;
+            higher[q] += h;
+            tied[q] += t;
+          }
+        }
+      }
+      for (size_t q = 0; q < qb; ++q) {
+        const double rank =
+            RankFromCounts(higher[q], tied[q], options.tie);
+        const size_t i =
+            static_cast<size_t>((*block.triple_idx)[block.begin + q]);
+        result.ranks[i * 2 + (tail_dir ? 0 : 1)] = rank;
+      }
+    }
+    if (stats.queries > 0) {
+      screen_queries.fetch_add(stats.queries, std::memory_order_relaxed);
+      screen_screened.fetch_add(stats.screened, std::memory_order_relaxed);
+      screen_rescored.fetch_add(stats.rescored, std::memory_order_relaxed);
+      screen_tiles_skipped.fetch_add(stats.tiles_skipped,
+                                     std::memory_order_relaxed);
+      AddGlobalScreenStats(stats);
+    }
+  });
+  group.Wait();
+  result.screen.queries = screen_queries.load();
+  result.screen.screened = screen_screened.load();
+  result.screen.rescored = screen_rescored.load();
+  result.screen.tiles_skipped = screen_tiles_skipped.load();
 
   result.metrics = RankingMetrics::FromRanks(result.ranks);
   return result;

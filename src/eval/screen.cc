@@ -1,0 +1,369 @@
+#include "eval/screen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "la/kernels/kernels.h"
+#include "util/logging.h"
+
+namespace kgeval {
+namespace {
+
+/// Per-term floating-point slack multiplied by the sum of term magnitudes:
+/// a length-dim reduction accumulates at most dim roundings of at most the
+/// running-sum magnitude each, on BOTH sides of the comparison (the exact
+/// sequential reference and the possibly fused/reordered quantized kernel),
+/// so 2 x 2 x machine-epsilon per term is a safe, still-tiny allowance next
+/// to the quantization term (~amp/254 per dim).
+float FpSlack(size_t dim) { return 2.4e-7f * static_cast<float>(dim); }
+
+std::atomic<int64_t> g_queries{0};
+std::atomic<int64_t> g_screened{0};
+std::atomic<int64_t> g_rescored{0};
+std::atomic<int64_t> g_tiles_skipped{0};
+
+/// Distance from q to the interval [lo, hi]; 0 inside it. The per-dim
+/// building block of the tile-skip bounds for the distance kernels.
+float GapToRange(float q, float lo, float hi) {
+  if (q < lo) return lo - q;
+  if (q > hi) return q - hi;
+  return 0.0f;
+}
+
+/// One lane of the query-row quantization for the integer dot: the
+/// round-to-nearest level of pre-scaled value `a` at inverse scale
+/// `inv_qs`, clamped to the symmetric int8 range. ScreenErrorBound and
+/// ScreenApproxBlock MUST quantize through this same function — the bound
+/// covers the measured rounding of exactly these levels.
+int32_t QuantizeQueryLane(float a, float inv_qs) {
+  const long v = std::lround(a * inv_qs);
+  return static_cast<int32_t>(std::min<long>(127, std::max<long>(-127, v)));
+}
+
+}  // namespace
+
+void AddGlobalScreenStats(const ScreenStats& stats) {
+  g_queries.fetch_add(stats.queries, std::memory_order_relaxed);
+  g_screened.fetch_add(stats.screened, std::memory_order_relaxed);
+  g_rescored.fetch_add(stats.rescored, std::memory_order_relaxed);
+  g_tiles_skipped.fetch_add(stats.tiles_skipped, std::memory_order_relaxed);
+}
+
+ScreenStats GlobalScreenStats() {
+  ScreenStats stats;
+  stats.queries = g_queries.load(std::memory_order_relaxed);
+  stats.screened = g_screened.load(std::memory_order_relaxed);
+  stats.rescored = g_rescored.load(std::memory_order_relaxed);
+  stats.tiles_skipped = g_tiles_skipped.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void QuantizeCandidateBlock(CandidateBlock* block) {
+  KGEVAL_CHECK(block->prepared);
+  const size_t dim = block->gathered_t.rows();
+  const size_t n = block->gathered_t.cols();
+  KGEVAL_CHECK(n > 0) << "cannot quantize an empty candidate tile";
+  const size_t dim_quads = (dim + 3) / 4;
+  block->q8.resize(dim * n);
+  block->q8i.assign(dim_quads * n * 4, 0);
+  block->q8_colsum.assign(n, 0);
+  block->q8_scale.resize(dim);
+  block->q8_err.resize(dim);
+  block->q8_amp.resize(dim);
+  block->q8_lo.resize(dim);
+  block->q8_hi.resize(dim);
+  block->q8_bias_amp = 0.0f;
+  for (float b : block->bias) {
+    block->q8_bias_amp = std::max(block->q8_bias_amp, std::fabs(b));
+  }
+  const float* tile = block->gathered_t.data();
+  for (size_t k = 0; k < dim; ++k) {
+    const float* row = tile + k * n;
+    int8_t* qrow = block->q8.data() + k * n;
+    float lo = row[0], hi = row[0];
+    for (size_t c = 1; c < n; ++c) {
+      lo = std::min(lo, row[c]);
+      hi = std::max(hi, row[c]);
+    }
+    block->q8_lo[k] = lo;
+    block->q8_hi[k] = hi;
+    const float amp = std::max(std::fabs(lo), std::fabs(hi));
+    block->q8_amp[k] = amp;
+    if (amp == 0.0f) {
+      block->q8_scale[k] = 0.0f;
+      block->q8_err[k] = 0.0f;
+      std::fill(qrow, qrow + n, static_cast<int8_t>(0));
+      continue;
+    }
+    const float scale = amp / 127.0f;
+    const float inv = 127.0f / amp;
+    // q8_err records the tile's ACTUAL max reconstruction error — measured
+    // against the same q * scale product the dequantizing kernels compute —
+    // which is what makes the bound both tight and airtight.
+    float err = 0.0f;
+    int8_t* irow = block->q8i.data() + ((k / 4) * n) * 4 + (k % 4);
+    for (size_t c = 0; c < n; ++c) {
+      const long q = std::lround(row[c] * inv);
+      const int8_t q8 = static_cast<int8_t>(
+          std::min<long>(127, std::max<long>(-127, q)));
+      qrow[c] = q8;
+      irow[c * 4] = q8;
+      block->q8_colsum[c] += q8;
+      err = std::max(err,
+                     std::fabs(row[c] - static_cast<float>(q8) * scale));
+    }
+    block->q8_scale[k] = scale;
+    block->q8_err[k] = err;
+  }
+  block->quantized = true;
+}
+
+float ScreenErrorBound(BatchKernel kind, const float* qrow, size_t dim,
+                       const CandidateBlock& block) {
+  const float* err = block.q8_err.data();
+  const float* amp = block.q8_amp.data();
+  const float bias_amp = block.q8_bias_amp;
+  const float slack = FpSlack(dim);
+  switch (kind) {
+    case BatchKernel::kDot: {
+      // Two rounding sources, both measured rather than worst-cased:
+      // the tile's |q_k| err_k per dim, and the query row's own int8
+      // levels — approx substitutes a'_k = qs * round(a_k / qs) for
+      // a_k = q_k scale_k, and each |a'_k - a_k| meets a tile byte of
+      // magnitude at most 127. The integer sum itself is exact; the slack
+      // covers only the final int->float convert, scale, and bias add
+      // (the sum's magnitude is at most 127 * 127 * dim in query-scale
+      // units, hence the 16129 qs term).
+      const float* scale = block.q8_scale.data();
+      float quant = 0.0f, mag = 0.0f, maxa = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        const float a = std::fabs(qrow[k]);
+        quant += a * err[k];
+        mag += a * amp[k];
+        maxa = std::max(maxa, std::fabs(qrow[k] * scale[k]));
+      }
+      float qs = 0.0f;
+      if (maxa > 0.0f) {
+        qs = maxa / 127.0f;
+        const float inv = 127.0f / maxa;
+        float dqsum = 0.0f;
+        for (size_t k = 0; k < dim; ++k) {
+          const float a = qrow[k] * scale[k];
+          dqsum += std::fabs(
+              qs * static_cast<float>(QuantizeQueryLane(a, inv)) - a);
+        }
+        quant += 127.0f * dqsum;
+      }
+      return quant + slack * (mag + bias_amp + 16129.0f * qs);
+    }
+    case BatchKernel::kNegL1: {
+      // | |q-e| - |q-deq| | <= |e - deq| per dim: the quantization term is
+      // query-independent.
+      float quant = 0.0f, mag = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        quant += err[k];
+        mag += std::fabs(qrow[k]) + amp[k];
+      }
+      return quant + slack * mag;
+    }
+    case BatchKernel::kNegComplexDist: {
+      // sqrt(dre^2 + dim^2 + eps) is 1-Lipschitz in each coordinate for any
+      // eps >= 0, so per complex coordinate the error is at most
+      // err_re + err_im; summing gives the same query-independent bound as
+      // L1. The +1 term covers the sqrt's own rounding around small values.
+      float quant = 0.0f, mag = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        quant += err[k];
+        mag += std::fabs(qrow[k]) + amp[k];
+      }
+      return quant + slack * (mag + 1.0f);
+    }
+  }
+  return 0.0f;
+}
+
+float TileScoreUpperBound(BatchKernel kind, const float* qrow, size_t dim,
+                          const CandidateBlock& block, float eps) {
+  const float* lo = block.q8_lo.data();
+  const float* hi = block.q8_hi.data();
+  const float* amp = block.q8_amp.data();
+  const float slack = FpSlack(dim);
+  switch (kind) {
+    case BatchKernel::kDot: {
+      // Per dim, q_k e_k is maximized at whichever envelope end the sign of
+      // q_k points to; the sum of those maxima bounds every candidate's dot
+      // (the candidates' coordinates are independent within the envelope,
+      // so this is loose exactly when it is safe to be).
+      float ub = block.q8_bias_amp, mag = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        ub += std::max(qrow[k] * lo[k], qrow[k] * hi[k]);
+        mag += std::fabs(qrow[k]) * amp[k];
+      }
+      return ub + slack * (mag + block.q8_bias_amp);
+    }
+    case BatchKernel::kNegL1: {
+      // |q_k - e_k| >= distance from q_k to [lo_k, hi_k], so the negated
+      // sum of gaps bounds every candidate's score from above.
+      float ub = 0.0f, mag = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        ub -= GapToRange(qrow[k], lo[k], hi[k]);
+        mag += std::fabs(qrow[k]) + amp[k];
+      }
+      return ub + slack * mag;
+    }
+    case BatchKernel::kNegComplexDist: {
+      // sqrt(dre^2 + dim^2 + eps) >= max(|dre|, |dim|) >= the larger of the
+      // two per-coordinate gaps, for any eps >= 0.
+      (void)eps;
+      const size_t m = dim / 2;
+      float ub = 0.0f, mag = 0.0f;
+      for (size_t j = 0; j < m; ++j) {
+        const float gr = GapToRange(qrow[j], lo[j], hi[j]);
+        const float gi = GapToRange(qrow[m + j], lo[m + j], hi[m + j]);
+        ub -= std::max(gr, gi);
+      }
+      for (size_t k = 0; k < dim; ++k) {
+        mag += std::fabs(qrow[k]) + amp[k];
+      }
+      return ub + slack * (mag + 1.0f);
+    }
+  }
+  return 0.0f;
+}
+
+void ScreenApproxBlock(const KgeModel& model, const Matrix& queries,
+                       size_t num_queries, const CandidateBlock& block,
+                       ScreenScratch* scratch) {
+  KGEVAL_CHECK(block.prepared && block.quantized);
+  const ScoreKernels& kern = ActiveScoreKernels();
+  const size_t n = block.size();
+  const size_t dim = queries.cols();
+  KGEVAL_DCHECK(dim == block.gathered_t.rows());
+  scratch->approx.resize(num_queries * n);
+  switch (model.batch_kernel()) {
+    case BatchKernel::kDot: {
+      // Fold the dequantization scales into the query row, then quantize the
+      // scaled row itself to 127 signed levels stored offset-binary (+128):
+      // pass 1 becomes a pure u8 x s8 integer dot, identical on every ISA.
+      // Padding quads of the tile are zero bytes, so the query's pad bytes
+      // (128 = value 0) contribute nothing either way.
+      const size_t dim_quads = (dim + 3) / 4;
+      scratch->q8_queries.assign(num_queries * dim_quads * 4, 128);
+      scratch->q8_query_scale.resize(num_queries);
+      scratch->iapprox.resize(num_queries * n);
+      const float* scale = block.q8_scale.data();
+      for (size_t q = 0; q < num_queries; ++q) {
+        const float* src = queries.Row(q);
+        uint8_t* dst = scratch->q8_queries.data() + q * dim_quads * 4;
+        float maxa = 0.0f;
+        for (size_t k = 0; k < dim; ++k) {
+          maxa = std::max(maxa, std::fabs(src[k] * scale[k]));
+        }
+        const float qs = maxa / 127.0f;
+        scratch->q8_query_scale[q] = qs;
+        if (maxa > 0.0f) {
+          const float inv = 127.0f / maxa;
+          for (size_t k = 0; k < dim; ++k) {
+            dst[k] = static_cast<uint8_t>(
+                QuantizeQueryLane(src[k] * scale[k], inv) + 128);
+          }
+        }
+      }
+      kern.dot_q8(scratch->q8_queries.data(), num_queries, dim_quads,
+                  block.q8i.data(), n, scratch->iapprox.data());
+      const float* bias = block.bias.empty() ? nullptr : block.bias.data();
+      const int32_t* colsum = block.q8_colsum.data();
+      for (size_t q = 0; q < num_queries; ++q) {
+        const float qs = scratch->q8_query_scale[q];
+        const int32_t* irow = scratch->iapprox.data() + q * n;
+        float* row = scratch->approx.data() + q * n;
+        for (size_t c = 0; c < n; ++c) {
+          row[c] = qs * static_cast<float>(irow[c] - 128 * colsum[c]) +
+                   (bias ? bias[c] : 0.0f);
+        }
+      }
+      break;
+    }
+    case BatchKernel::kNegL1:
+      kern.neg_l1_q8(queries.data(), num_queries, dim, block.q8.data(),
+                     block.q8_scale.data(), n, scratch->approx.data());
+      break;
+    case BatchKernel::kNegComplexDist:
+      kern.neg_complex_dist_q8(queries.data(), num_queries, dim,
+                               block.q8.data(), block.q8_scale.data(), n,
+                               model.batch_kernel_eps(),
+                               scratch->approx.data());
+      break;
+  }
+}
+
+void ScreenRankBlock(const KgeModel& model, const int32_t* anchors,
+                     const int32_t* truths, size_t num_queries,
+                     int32_t relation, QueryDirection direction,
+                     const CandidateBlock& block,
+                     const std::vector<int32_t>* const* answers, TieBreak tie,
+                     ScreenScratch* scratch, double* ranks,
+                     ScreenStats* stats) {
+  KGEVAL_CHECK(block.prepared && block.quantized);
+  const BatchKernel kind = model.batch_kernel();
+  const size_t n = block.size();
+
+  model.BuildKernelQueries(anchors, num_queries, relation, direction,
+                           &scratch->queries);
+  const Matrix& queries = scratch->queries;
+  const size_t dim = queries.cols();
+  KGEVAL_DCHECK(dim == block.gathered_t.rows());
+
+  // Exact truth scores: the same per-lane reference reduction the batched
+  // kernels match bit-for-bit, so the band test compares against exactly
+  // the truth score the unscreened path would use.
+  scratch->truth_scores.resize(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    model.ScoreWithQuery(queries, q, &truths[q], 1,
+                         &scratch->truth_scores[q]);
+  }
+
+  // Pass 1: every candidate through the int8 kernel.
+  ScreenApproxBlock(model, queries, num_queries, block, scratch);
+
+  // Pass 2: per query, re-score only the band that can still reach the
+  // truth, then count higher/tied over it with the filtered-rank rules.
+  for (size_t q = 0; q < num_queries; ++q) {
+    const float bound = ScreenErrorBound(kind, queries.Row(q), dim, block);
+    const float truth_score = scratch->truth_scores[q];
+    const float* approx = scratch->approx.data() + q * n;
+    scratch->band_ids.clear();
+    for (size_t c = 0; c < n; ++c) {
+      // Keep iff approx + bound >= truth: a skipped candidate has
+      // exact <= approx + bound < truth, strictly below — it could not
+      // have raised `higher` or `tied`, so the rank cannot move.
+      if (approx[c] + bound >= truth_score) {
+        scratch->band_ids.push_back(block.ids[c]);
+      }
+    }
+    const size_t band = scratch->band_ids.size();
+    scratch->band_scores.resize(band);
+    model.ScoreWithQuery(queries, q, scratch->band_ids.data(), band,
+                         scratch->band_scores.data());
+    const std::vector<int32_t>& ans = *answers[q];
+    int64_t higher = 0, tied = 0;
+    for (size_t i = 0; i < band; ++i) {
+      const int32_t c = scratch->band_ids[i];
+      if (c == truths[q]) continue;
+      if (std::binary_search(ans.begin(), ans.end(), c)) continue;
+      const float s = scratch->band_scores[i];
+      if (s > truth_score) {
+        ++higher;
+      } else if (s == truth_score) {
+        ++tied;
+      }
+    }
+    ranks[q] = RankFromCounts(higher, tied, tie);
+    stats->rescored += static_cast<int64_t>(band);
+  }
+  stats->queries += static_cast<int64_t>(num_queries);
+  stats->screened += static_cast<int64_t>(num_queries) * n;
+}
+
+}  // namespace kgeval

@@ -1,0 +1,28 @@
+#ifndef KGEVAL_LA_KERNELS_KERNEL_IMPLS_H_
+#define KGEVAL_LA_KERNELS_KERNEL_IMPLS_H_
+
+#include "la/kernels/kernels.h"
+
+namespace kgeval {
+namespace kernel_impls {
+
+/// Per-ISA kernel tables for the registry. Each accessor returns nullptr
+/// when its translation unit could not compile the implementation (wrong
+/// architecture or a toolchain without the target attribute) — the registry
+/// just skips nulls, so adding an ISA is one TU plus one line in kernels.cc.
+/// "Compiled in" is independent of "supported on this CPU"; the registry
+/// probes support separately before dispatching.
+
+const ScoreKernels* Avx2Kernels();    // x86-64, 8-lane AVX2.
+const ScoreKernels* Avx512Kernels();  // x86-64, 16-lane AVX-512F.
+const ScoreKernels* NeonKernels();    // aarch64, 4-lane NEON.
+
+/// True when the running CPU can execute the named table. Tables that are
+/// baseline for their architecture (NEON on aarch64) always return true.
+bool Avx2Supported();
+bool Avx512Supported();
+
+}  // namespace kernel_impls
+}  // namespace kgeval
+
+#endif  // KGEVAL_LA_KERNELS_KERNEL_IMPLS_H_

@@ -1,0 +1,286 @@
+// NEON score kernels for aarch64, where ASIMD is baseline (no runtime probe
+// needed). Same lane discipline as the x86 paths: candidates are
+// independent 4-lane strips, each accumulating over dim with an explicit
+// rounded multiply + rounded add (vmulq/vaddq, never vfmaq, on the exact
+// kernels) and IEEE-exact vsqrtq/vabsq, so results match the scalar
+// reference bit-for-bit.
+
+#include "la/kernels/kernel_impls.h"
+
+#if defined(__aarch64__)
+#define KGEVAL_HAVE_NEON_KERNELS 1
+#endif
+
+#if defined(KGEVAL_HAVE_NEON_KERNELS)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+
+namespace kgeval {
+namespace kernel_impls {
+namespace {
+
+/// Loads exactly 4 int8 lanes (no overread past the tile) and converts to
+/// fp32.
+inline float32x4_t LoadQ8x4(const int8_t* p) {
+  int32_t bits;
+  __builtin_memcpy(&bits, p, sizeof(bits));
+  const int8x8_t raw = vreinterpret_s8_s32(vdup_n_s32(bits));
+  const int16x8_t w = vmovl_s8(raw);
+  return vcvtq_f32_s32(vmovl_s16(vget_low_s16(w)));
+}
+
+void DotNeon(const float* queries, size_t nq, size_t dim, const float* tile,
+             size_t n, float* out) {
+  for (size_t q = 0; q < nq; ++q) {
+    const float* a = queries + q * dim;
+    float* o = out + q * n;
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+      float32x4_t acc0 = vdupq_n_f32(0.0f);
+      float32x4_t acc1 = vdupq_n_f32(0.0f);
+      float32x4_t acc2 = vdupq_n_f32(0.0f);
+      float32x4_t acc3 = vdupq_n_f32(0.0f);
+      const float* g = tile + c;
+      for (size_t k = 0; k < dim; ++k, g += n) {
+        const float32x4_t va = vdupq_n_f32(a[k]);
+        acc0 = vaddq_f32(acc0, vmulq_f32(va, vld1q_f32(g)));
+        acc1 = vaddq_f32(acc1, vmulq_f32(va, vld1q_f32(g + 4)));
+        acc2 = vaddq_f32(acc2, vmulq_f32(va, vld1q_f32(g + 8)));
+        acc3 = vaddq_f32(acc3, vmulq_f32(va, vld1q_f32(g + 12)));
+      }
+      vst1q_f32(o + c, acc0);
+      vst1q_f32(o + c + 4, acc1);
+      vst1q_f32(o + c + 8, acc2);
+      vst1q_f32(o + c + 12, acc3);
+    }
+    for (; c + 4 <= n; c += 4) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      const float* g = tile + c;
+      for (size_t k = 0; k < dim; ++k, g += n) {
+        acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(a[k]), vld1q_f32(g)));
+      }
+      vst1q_f32(o + c, acc);
+    }
+    for (; c < n; ++c) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < dim; ++k) acc += a[k] * tile[k * n + c];
+      o[c] = acc;
+    }
+  }
+}
+
+void NegL1Neon(const float* queries, size_t nq, size_t dim, const float* tile,
+               size_t n, float* out) {
+  for (size_t q = 0; q < nq; ++q) {
+    const float* a = queries + q * dim;
+    float* o = out + q * n;
+    size_t c = 0;
+    for (; c + 16 <= n; c += 16) {
+      float32x4_t acc0 = vdupq_n_f32(0.0f);
+      float32x4_t acc1 = vdupq_n_f32(0.0f);
+      float32x4_t acc2 = vdupq_n_f32(0.0f);
+      float32x4_t acc3 = vdupq_n_f32(0.0f);
+      const float* g = tile + c;
+      for (size_t k = 0; k < dim; ++k, g += n) {
+        const float32x4_t va = vdupq_n_f32(a[k]);
+        acc0 = vaddq_f32(acc0, vabsq_f32(vsubq_f32(va, vld1q_f32(g))));
+        acc1 = vaddq_f32(acc1, vabsq_f32(vsubq_f32(va, vld1q_f32(g + 4))));
+        acc2 = vaddq_f32(acc2, vabsq_f32(vsubq_f32(va, vld1q_f32(g + 8))));
+        acc3 = vaddq_f32(acc3, vabsq_f32(vsubq_f32(va, vld1q_f32(g + 12))));
+      }
+      vst1q_f32(o + c, vnegq_f32(acc0));
+      vst1q_f32(o + c + 4, vnegq_f32(acc1));
+      vst1q_f32(o + c + 8, vnegq_f32(acc2));
+      vst1q_f32(o + c + 12, vnegq_f32(acc3));
+    }
+    for (; c + 4 <= n; c += 4) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      const float* g = tile + c;
+      for (size_t k = 0; k < dim; ++k, g += n) {
+        acc = vaddq_f32(acc,
+                        vabsq_f32(vsubq_f32(vdupq_n_f32(a[k]), vld1q_f32(g))));
+      }
+      vst1q_f32(o + c, vnegq_f32(acc));
+    }
+    for (; c < n; ++c) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < dim; ++k) acc += std::fabs(a[k] - tile[k * n + c]);
+      o[c] = -acc;
+    }
+  }
+}
+
+void NegComplexDistNeon(const float* queries, size_t nq, size_t dim,
+                        const float* tile, size_t n, float eps, float* out) {
+  const size_t m = dim / 2;
+  const float32x4_t veps = vdupq_n_f32(eps);
+  for (size_t q = 0; q < nq; ++q) {
+    const float* a = queries + q * dim;
+    float* o = out + q * n;
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+      float32x4_t acc0 = vdupq_n_f32(0.0f);
+      float32x4_t acc1 = vdupq_n_f32(0.0f);
+      for (size_t j = 0; j < m; ++j) {
+        const float32x4_t qre = vdupq_n_f32(a[j]);
+        const float32x4_t qim = vdupq_n_f32(a[m + j]);
+        const float* gre = tile + j * n + c;
+        const float* gim = tile + (m + j) * n + c;
+        const float32x4_t dre0 = vsubq_f32(qre, vld1q_f32(gre));
+        const float32x4_t dim0 = vsubq_f32(qim, vld1q_f32(gim));
+        const float32x4_t dre1 = vsubq_f32(qre, vld1q_f32(gre + 4));
+        const float32x4_t dim1 = vsubq_f32(qim, vld1q_f32(gim + 4));
+        const float32x4_t s0 = vaddq_f32(
+            vaddq_f32(vmulq_f32(dre0, dre0), vmulq_f32(dim0, dim0)), veps);
+        const float32x4_t s1 = vaddq_f32(
+            vaddq_f32(vmulq_f32(dre1, dre1), vmulq_f32(dim1, dim1)), veps);
+        acc0 = vaddq_f32(acc0, vsqrtq_f32(s0));
+        acc1 = vaddq_f32(acc1, vsqrtq_f32(s1));
+      }
+      vst1q_f32(o + c, vnegq_f32(acc0));
+      vst1q_f32(o + c + 4, vnegq_f32(acc1));
+    }
+    for (; c + 4 <= n; c += 4) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      for (size_t j = 0; j < m; ++j) {
+        const float32x4_t dre =
+            vsubq_f32(vdupq_n_f32(a[j]), vld1q_f32(tile + j * n + c));
+        const float32x4_t dim_ =
+            vsubq_f32(vdupq_n_f32(a[m + j]), vld1q_f32(tile + (m + j) * n + c));
+        const float32x4_t s = vaddq_f32(
+            vaddq_f32(vmulq_f32(dre, dre), vmulq_f32(dim_, dim_)), veps);
+        acc = vaddq_f32(acc, vsqrtq_f32(s));
+      }
+      vst1q_f32(o + c, vnegq_f32(acc));
+    }
+    for (; c < n; ++c) {
+      float acc = 0.0f;
+      for (size_t j = 0; j < m; ++j) {
+        const float dre = a[j] - tile[j * n + c];
+        const float dim_ = a[m + j] - tile[(m + j) * n + c];
+        acc += std::sqrt(dre * dre + dim_ * dim_ + eps);
+      }
+      o[c] = -acc;
+    }
+  }
+}
+
+void DotQ8Neon(const uint8_t* queries, size_t nq, size_t dim_quads,
+               const int8_t* tile4, size_t n, int32_t* out) {
+  // Exact integer dot over the quad-interleaved tile. Kept as plain C:
+  // the candidate-quad layout autovectorizes acceptably (smlal-style), the
+  // arithmetic is exact s32 either way, and an sdot/usdot variant needs the
+  // dotprod/i8mm extensions a baseline aarch64 target cannot assume.
+  for (size_t q = 0; q < nq; ++q) {
+    const uint8_t* a = queries + q * dim_quads * 4;
+    int32_t* o = out + q * n;
+    for (size_t c = 0; c < n; ++c) o[c] = 0;
+    for (size_t g = 0; g < dim_quads; ++g) {
+      const int32_t a0 = a[g * 4 + 0], a1 = a[g * 4 + 1];
+      const int32_t a2 = a[g * 4 + 2], a3 = a[g * 4 + 3];
+      const int8_t* t = tile4 + g * n * 4;
+      for (size_t c = 0; c < n; ++c) {
+        o[c] += a0 * t[c * 4 + 0] + a1 * t[c * 4 + 1] + a2 * t[c * 4 + 2] +
+                a3 * t[c * 4 + 3];
+      }
+    }
+  }
+}
+
+void NegL1Q8Neon(const float* queries, size_t nq, size_t dim,
+                 const int8_t* tile, const float* scale, size_t n,
+                 float* out) {
+  for (size_t q = 0; q < nq; ++q) {
+    const float* a = queries + q * dim;
+    float* o = out + q * n;
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+      float32x4_t acc0 = vdupq_n_f32(0.0f);
+      float32x4_t acc1 = vdupq_n_f32(0.0f);
+      const int8_t* g = tile + c;
+      for (size_t k = 0; k < dim; ++k, g += n) {
+        const float32x4_t va = vdupq_n_f32(a[k]);
+        const float32x4_t vs = vdupq_n_f32(scale[k]);
+        acc0 = vaddq_f32(
+            acc0, vabsq_f32(vsubq_f32(va, vmulq_f32(vs, LoadQ8x4(g)))));
+        acc1 = vaddq_f32(
+            acc1, vabsq_f32(vsubq_f32(va, vmulq_f32(vs, LoadQ8x4(g + 4)))));
+      }
+      vst1q_f32(o + c, vnegq_f32(acc0));
+      vst1q_f32(o + c + 4, vnegq_f32(acc1));
+    }
+    for (; c < n; ++c) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        acc += std::fabs(a[k] - scale[k] * static_cast<float>(tile[k * n + c]));
+      }
+      o[c] = -acc;
+    }
+  }
+}
+
+void NegComplexDistQ8Neon(const float* queries, size_t nq, size_t dim,
+                          const int8_t* tile, const float* scale, size_t n,
+                          float eps, float* out) {
+  const size_t m = dim / 2;
+  const float32x4_t veps = vdupq_n_f32(eps);
+  for (size_t q = 0; q < nq; ++q) {
+    const float* a = queries + q * dim;
+    float* o = out + q * n;
+    size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      for (size_t j = 0; j < m; ++j) {
+        const float32x4_t gre =
+            vmulq_f32(vdupq_n_f32(scale[j]), LoadQ8x4(tile + j * n + c));
+        const float32x4_t gim = vmulq_f32(vdupq_n_f32(scale[m + j]),
+                                          LoadQ8x4(tile + (m + j) * n + c));
+        const float32x4_t dre = vsubq_f32(vdupq_n_f32(a[j]), gre);
+        const float32x4_t dim_ = vsubq_f32(vdupq_n_f32(a[m + j]), gim);
+        const float32x4_t s = vaddq_f32(
+            vaddq_f32(vmulq_f32(dre, dre), vmulq_f32(dim_, dim_)), veps);
+        acc = vaddq_f32(acc, vsqrtq_f32(s));
+      }
+      vst1q_f32(o + c, vnegq_f32(acc));
+    }
+    for (; c < n; ++c) {
+      float acc = 0.0f;
+      for (size_t j = 0; j < m; ++j) {
+        const float dre =
+            a[j] - scale[j] * static_cast<float>(tile[j * n + c]);
+        const float dim_ =
+            a[m + j] - scale[m + j] * static_cast<float>(tile[(m + j) * n + c]);
+        acc += std::sqrt(dre * dre + dim_ * dim_ + eps);
+      }
+      o[c] = -acc;
+    }
+  }
+}
+
+}  // namespace
+
+const ScoreKernels* NeonKernels() {
+  static const ScoreKernels kNeon = {
+      "neon",      DotNeon,     NegL1Neon,        NegComplexDistNeon,
+      DotQ8Neon,   NegL1Q8Neon, NegComplexDistQ8Neon,
+  };
+  return &kNeon;
+}
+
+}  // namespace kernel_impls
+}  // namespace kgeval
+
+#else  // !KGEVAL_HAVE_NEON_KERNELS
+
+namespace kgeval {
+namespace kernel_impls {
+
+const ScoreKernels* NeonKernels() { return nullptr; }
+
+}  // namespace kernel_impls
+}  // namespace kgeval
+
+#endif  // KGEVAL_HAVE_NEON_KERNELS

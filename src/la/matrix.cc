@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels/kernels.h"
+
 namespace kgeval {
 
 void Matrix::InitXavier(Rng* rng, size_t fan_in, size_t fan_out) {
@@ -34,66 +36,32 @@ void GatherRowsT(const Matrix& src, const int32_t* ids, size_t n,
   }
 }
 
+// The batch kernels dispatch to the active ScoreKernels table (la/kernels):
+// the scalar baseline or a hand-written AVX2/AVX-512/NEON path, all
+// bit-identical per cell (see kernels.h for the lane-order contract these
+// wrappers' callers rely on).
+
 void DotScoreBatch(const Matrix& queries, const Matrix& gathered_t,
                    float* out) {
   KGEVAL_CHECK(queries.cols() == gathered_t.rows());
-  const size_t q = queries.rows();
-  const size_t n = gathered_t.cols();
-  const size_t dim = queries.cols();
-  for (size_t i = 0; i < q; ++i) {
-    const float* a = queries.Row(i);
-    float* __restrict o = out + i * n;
-    std::fill(o, o + n, 0.0f);
-    for (size_t k = 0; k < dim; ++k) {
-      const float ak = a[k];
-      const float* __restrict g = gathered_t.Row(k);
-      for (size_t c = 0; c < n; ++c) o[c] += ak * g[c];
-    }
-  }
+  ActiveScoreKernels().dot(queries.data(), queries.rows(), queries.cols(),
+                           gathered_t.data(), gathered_t.cols(), out);
 }
 
 void NegL1ScoreBatch(const Matrix& queries, const Matrix& gathered_t,
                      float* out) {
   KGEVAL_CHECK(queries.cols() == gathered_t.rows());
-  const size_t q = queries.rows();
-  const size_t n = gathered_t.cols();
-  const size_t dim = queries.cols();
-  for (size_t i = 0; i < q; ++i) {
-    const float* a = queries.Row(i);
-    float* __restrict o = out + i * n;
-    std::fill(o, o + n, 0.0f);
-    for (size_t k = 0; k < dim; ++k) {
-      const float ak = a[k];
-      const float* __restrict g = gathered_t.Row(k);
-      for (size_t c = 0; c < n; ++c) o[c] += std::fabs(ak - g[c]);
-    }
-    for (size_t c = 0; c < n; ++c) o[c] = -o[c];
-  }
+  ActiveScoreKernels().neg_l1(queries.data(), queries.rows(), queries.cols(),
+                              gathered_t.data(), gathered_t.cols(), out);
 }
 
 void NegComplexDistScoreBatch(const Matrix& queries, const Matrix& gathered_t,
                               float eps, float* out) {
   KGEVAL_CHECK(queries.cols() == gathered_t.rows());
   KGEVAL_CHECK(queries.cols() % 2 == 0);
-  const size_t q = queries.rows();
-  const size_t n = gathered_t.cols();
-  const size_t m = queries.cols() / 2;
-  for (size_t i = 0; i < q; ++i) {
-    const float* a = queries.Row(i);
-    float* __restrict o = out + i * n;
-    std::fill(o, o + n, 0.0f);
-    for (size_t j = 0; j < m; ++j) {
-      const float qre = a[j], qim = a[m + j];
-      const float* __restrict gre = gathered_t.Row(j);
-      const float* __restrict gim = gathered_t.Row(m + j);
-      for (size_t c = 0; c < n; ++c) {
-        const float dre = qre - gre[c];
-        const float dim = qim - gim[c];
-        o[c] += std::sqrt(dre * dre + dim * dim + eps);
-      }
-    }
-    for (size_t c = 0; c < n; ++c) o[c] = -o[c];
-  }
+  ActiveScoreKernels().neg_complex_dist(queries.data(), queries.rows(),
+                                        queries.cols(), gathered_t.data(),
+                                        gathered_t.cols(), eps, out);
 }
 
 }  // namespace kgeval

@@ -64,6 +64,22 @@ inline float L1Distance(const float* __restrict a, const float* __restrict b,
 /// Returns ||a||_2^2.
 inline float SquaredNorm(const float* a, size_t n) { return Dot(a, a, n); }
 
+/// Returns -sum_j sqrt((q_j - e_j)_re^2 + (q_j - e_j)_im^2 + eps) over m
+/// complex coordinates stored split: real parts in [0, m), imaginary parts
+/// in [m, 2m). The negative complex distance of RotatE-style scoring;
+/// sequential over j, the order the batched kernel reproduces per lane.
+inline float NegComplexDistance(const float* __restrict q,
+                                const float* __restrict e, size_t m,
+                                float eps) {
+  float dist = 0.0f;
+  for (size_t j = 0; j < m; ++j) {
+    const float dre = q[j] - e[j];
+    const float dim = q[m + j] - e[m + j];
+    dist += std::sqrt(dre * dre + dim * dim + eps);
+  }
+  return -dist;
+}
+
 /// Numerically stable log(sigmoid(x)).
 inline float LogSigmoid(float x) {
   if (x >= 0.0f) return -std::log1p(std::exp(-x));

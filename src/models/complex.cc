@@ -19,9 +19,9 @@ ComplEx::ComplEx(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
-void ComplEx::BuildQueries(const int32_t* anchors, size_t num_queries,
-                           int32_t relation, QueryDirection direction,
-                           Matrix* queries) const {
+void ComplEx::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                 int32_t relation, QueryDirection direction,
+                                 Matrix* queries) const {
   const int32_t m = half_;
   const float* rv = relations_.Row(relation);
   // The score is linear in the candidate embedding: fold anchor and
@@ -46,76 +46,6 @@ void ComplEx::BuildQueries(const int32_t* anchors, size_t num_queries,
         row[i] = c * e + d * f;
         row[m + i] = c * f - d * e;
       }
-    }
-  }
-}
-
-void ComplEx::ScoreCandidates(int32_t anchor, int32_t relation,
-                              QueryDirection direction,
-                              const int32_t* candidates, size_t n,
-                              float* out) const {
-  Matrix query;
-  BuildQueries(&anchor, 1, relation, direction, &query);
-  for (size_t k = 0; k < n; ++k) {
-    out[k] = Dot(query.Row(0), entities_.Row(candidates[k]),
-                 static_cast<size_t>(2 * half_));
-  }
-}
-
-void ComplEx::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                         int32_t relation, QueryDirection direction,
-                         const int32_t* candidates, size_t n,
-                         float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void ComplEx::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                         size_t num_queries, size_t candidates_per_query,
-                         int32_t relation, QueryDirection direction,
-                         float* out) const {
-  const size_t d = static_cast<size_t>(2 * half_);
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      out[q * k + j] =
-          Dot(queries.Row(q), entities_.Row(candidates[q * k + j]), d);
-    }
-  }
-}
-
-void ComplEx::PrepareCandidates(const int32_t* candidates, size_t n,
-                                CandidateBlock* block) const {
-  // The folded query makes scoring a plain dot product, so the transposed
-  // tile's top/bottom halves are exactly the candidates' re/im planes.
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->prepared = true;
-}
-
-void ComplEx::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                         size_t num_queries, int32_t relation,
-                         QueryDirection direction,
-                         const CandidateBlock& block, float* pool_scores,
-                         float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  const size_t d = static_cast<size_t>(2 * half_);
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  if (pool_scores != nullptr) {
-    DotScoreBatch(queries, block.gathered_t, pool_scores);
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] = Dot(queries.Row(q), entities_.Row(truths[q]), d);
     }
   }
 }

@@ -13,27 +13,15 @@ class ComplEx : public KgeModel {
  public:
   ComplEx(int32_t num_entities, int32_t num_relations, ModelOptions options);
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override { return BatchKernel::kDot; }
+  const Matrix* candidate_embeddings() const override { return &entities_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// Folds anchor and relation into one complex query row per anchor; the
+  /// score is then a plain dot product with the candidate embedding (the
+  /// transposed tile's top/bottom halves are the candidates' re/im planes).
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -41,12 +29,6 @@ class ComplEx : public KgeModel {
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
-  /// Folds anchor and relation into one complex query row per anchor; the
-  /// score is then a plain dot product with the candidate embedding.
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t relation, QueryDirection direction,
-                    Matrix* queries) const;
-
   int32_t half_;  // d / 2
   Matrix entities_;
   Matrix relations_;

@@ -92,107 +92,20 @@ void ConvE::Forward(int32_t anchor, int32_t rel_row,
   }
 }
 
-void ConvE::BuildQueries(const int32_t* anchors, size_t num_queries,
-                         int32_t rel_row, Matrix* queries) const {
+void ConvE::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                               int32_t relation, QueryDirection direction,
+                               Matrix* queries) const {
+  // Head queries use the reciprocal relation row (relation + |R|), the trick
+  // that answers (?, r, t) as the tail query (t, r_reciprocal, ?).
+  const int32_t rel_row = direction == QueryDirection::kTail
+                              ? relation
+                              : relation + num_relations_;
   const int32_t d = options_.dim;
   queries->Resize(num_queries, d);
   Activations acts;
   for (size_t q = 0; q < num_queries; ++q) {
     Forward(anchors[q], rel_row, &acts);
     std::copy(acts.psi.begin(), acts.psi.end(), queries->Row(q));
-  }
-}
-
-void ConvE::ScoreCandidates(int32_t anchor, int32_t relation,
-                            QueryDirection direction,
-                            const int32_t* candidates, size_t n,
-                            float* out) const {
-  const int32_t rel_row = direction == QueryDirection::kTail
-                              ? relation
-                              : relation + num_relations_;
-  Activations acts;
-  Forward(anchor, rel_row, &acts);
-  const int32_t d = options_.dim;
-  for (size_t c = 0; c < n; ++c) {
-    out[c] = Dot(acts.psi.data(), entities_.Row(candidates[c]), d) +
-             entity_bias_.At(candidates[c], 0);
-  }
-}
-
-void ConvE::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                       int32_t relation, QueryDirection direction,
-                       const int32_t* candidates, size_t n,
-                       float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void ConvE::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                       size_t num_queries, size_t candidates_per_query,
-                       int32_t relation, QueryDirection direction,
-                       float* out) const {
-  const int32_t rel_row = direction == QueryDirection::kTail
-                              ? relation
-                              : relation + num_relations_;
-  const int32_t d = options_.dim;
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, rel_row, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      const int32_t c = candidates[q * k + j];
-      out[q * k + j] =
-          Dot(queries.Row(q), entities_.Row(c), d) + entity_bias_.At(c, 0);
-    }
-  }
-}
-
-void ConvE::PrepareCandidates(const int32_t* candidates, size_t n,
-                              CandidateBlock* block) const {
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->bias.resize(n);
-  for (size_t c = 0; c < n; ++c) {
-    block->bias[c] = entity_bias_.At(candidates[c], 0);
-  }
-  block->prepared = true;
-}
-
-void ConvE::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                       size_t num_queries, int32_t relation,
-                       QueryDirection direction, const CandidateBlock& block,
-                       float* pool_scores, float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  const int32_t rel_row = direction == QueryDirection::kTail
-                              ? relation
-                              : relation + num_relations_;
-  const int32_t d = options_.dim;
-  // One conv/FC trunk pass per anchor — by far the dominant cost — feeds
-  // both the pool matrix and the truth scores.
-  Matrix queries;
-  BuildQueries(anchors, num_queries, rel_row, &queries);
-  if (pool_scores != nullptr) {
-    const size_t n = block.size();
-    DotScoreBatch(queries, block.gathered_t, pool_scores);
-    // One bias addition per cell on top of the bit-exact dot, matching the
-    // scalar path's `dot + bias` expression.
-    const float* __restrict bias = block.bias.data();
-    for (size_t q = 0; q < num_queries; ++q) {
-      float* __restrict o = pool_scores + q * n;
-      for (size_t c = 0; c < n; ++c) o[c] += bias[c];
-    }
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] = Dot(queries.Row(q), entities_.Row(truths[q]), d) +
-                        entity_bias_.At(truths[q], 0);
-    }
   }
 }
 

@@ -25,27 +25,17 @@ class ConvE : public KgeModel {
                                                   int32_t num_relations,
                                                   const ModelOptions& options);
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override { return BatchKernel::kDot; }
+  const Matrix* candidate_embeddings() const override { return &entities_; }
+  const Matrix* candidate_bias() const override { return &entity_bias_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// Runs the conv/FC trunk once per anchor (selecting the plain or
+  /// reciprocal relation row from `direction`), collecting the psi query
+  /// vectors as rows. The score is psi . candidate + entity bias, so
+  /// batching hoists the expensive trunk out of the candidate loop.
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -65,12 +55,6 @@ class ConvE : public KgeModel {
 
   /// Runs the feed-forward trunk for (anchor, relation-table row).
   void Forward(int32_t anchor, int32_t rel_row, Activations* acts) const;
-
-  /// Runs the trunk once per anchor, collecting the psi query vectors as
-  /// rows. The score is psi . candidate + entity bias, so batching hoists
-  /// the expensive conv/FC trunk out of the candidate loop.
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t rel_row, Matrix* queries) const;
 
   static constexpr int32_t kKernel = 3;
   // 4 channels keeps the flattened FC input (and thus the per-update cost,

@@ -18,8 +18,10 @@ DistMult::DistMult(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
-void DistMult::BuildQueries(const int32_t* anchors, size_t num_queries,
-                            int32_t relation, Matrix* queries) const {
+void DistMult::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                  int32_t relation,
+                                  QueryDirection /*direction*/,
+                                  Matrix* queries) const {
   // DistMult is symmetric in h/t: both directions reduce to a dot product
   // with the elementwise product of the anchor and relation embeddings.
   const size_t d = entities_.cols();
@@ -29,74 +31,6 @@ void DistMult::BuildQueries(const int32_t* anchors, size_t num_queries,
     const float* a = entities_.Row(anchors[q]);
     float* row = queries->Row(q);
     for (size_t i = 0; i < d; ++i) row[i] = a[i] * r[i];
-  }
-}
-
-void DistMult::ScoreCandidates(int32_t anchor, int32_t relation,
-                               QueryDirection /*direction*/,
-                               const int32_t* candidates, size_t n,
-                               float* out) const {
-  const size_t d = entities_.cols();
-  Matrix query;
-  BuildQueries(&anchor, 1, relation, &query);
-  for (size_t c = 0; c < n; ++c) {
-    out[c] = Dot(query.Row(0), entities_.Row(candidates[c]), d);
-  }
-}
-
-void DistMult::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                          int32_t relation, QueryDirection direction,
-                          const int32_t* candidates, size_t n,
-                          float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void DistMult::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                          size_t num_queries, size_t candidates_per_query,
-                          int32_t relation, QueryDirection /*direction*/,
-                          float* out) const {
-  const size_t d = entities_.cols();
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      out[q * k + j] =
-          Dot(queries.Row(q), entities_.Row(candidates[q * k + j]), d);
-    }
-  }
-}
-
-void DistMult::PrepareCandidates(const int32_t* candidates, size_t n,
-                                 CandidateBlock* block) const {
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->prepared = true;
-}
-
-void DistMult::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                          size_t num_queries, int32_t relation,
-                          QueryDirection direction,
-                          const CandidateBlock& block, float* pool_scores,
-                          float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  const size_t d = entities_.cols();
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, &queries);
-  if (pool_scores != nullptr) {
-    DotScoreBatch(queries, block.gathered_t, pool_scores);
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] = Dot(queries.Row(q), entities_.Row(truths[q]), d);
-    }
   }
 }
 

@@ -11,27 +11,15 @@ class DistMult : public KgeModel {
  public:
   DistMult(int32_t num_entities, int32_t num_relations, ModelOptions options);
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override { return BatchKernel::kDot; }
+  const Matrix* candidate_embeddings() const override { return &entities_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// Writes one query row per anchor: q = anchor .* relation (the score is
+  /// then linear in the candidate embedding). DistMult is symmetric in h/t,
+  /// so `direction` is ignored.
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -39,11 +27,6 @@ class DistMult : public KgeModel {
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
-  /// Writes one query row per anchor: q = anchor .* relation (the score is
-  /// then linear in the candidate embedding, shared by all three scorers).
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t relation, Matrix* queries) const;
-
   Matrix entities_;
   Matrix relations_;
   AdamState entity_adam_;

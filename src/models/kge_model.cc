@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "la/vector_ops.h"
 #include "models/complex.h"
 #include "models/conve.h"
 #include "models/tcomplex.h"
@@ -55,24 +56,120 @@ KgeModel::KgeModel(ModelType type, int32_t num_entities,
       num_relations_(num_relations),
       options_(options) {}
 
+void KgeModel::BuildKernelQueries(const int32_t*, size_t, int32_t,
+                                  QueryDirection, Matrix*) const {
+  KGEVAL_CHECK(false) << name()
+                      << " has no kernel surface (candidate_embeddings() is "
+                         "null) yet BuildKernelQueries was reached";
+}
+
+void KgeModel::ScoreWithQuery(const Matrix& queries, size_t q,
+                              const int32_t* candidates, size_t n,
+                              float* out) const {
+  const Matrix* entities = candidate_embeddings();
+  KGEVAL_DCHECK(entities != nullptr);
+  const Matrix* bias = candidate_bias();
+  const float* qrow = queries.Row(q);
+  const size_t dim = queries.cols();
+  KGEVAL_DCHECK(dim == entities->cols());
+  switch (batch_kernel()) {
+    case BatchKernel::kDot:
+      for (size_t c = 0; c < n; ++c) {
+        const int32_t id = candidates[c];
+        out[c] = Dot(qrow, entities->Row(static_cast<size_t>(id)), dim);
+        if (bias != nullptr) out[c] += bias->At(static_cast<size_t>(id), 0);
+      }
+      return;
+    case BatchKernel::kNegL1:
+      for (size_t c = 0; c < n; ++c) {
+        out[c] = -L1Distance(
+            qrow, entities->Row(static_cast<size_t>(candidates[c])), dim);
+      }
+      return;
+    case BatchKernel::kNegComplexDist: {
+      const float eps = batch_kernel_eps();
+      for (size_t c = 0; c < n; ++c) {
+        out[c] = NegComplexDistance(
+            qrow, entities->Row(static_cast<size_t>(candidates[c])), dim / 2,
+            eps);
+      }
+      return;
+    }
+  }
+}
+
+void KgeModel::ScorePool(const Matrix& queries, const CandidateBlock& block,
+                         float* pool_scores) const {
+  KGEVAL_DCHECK(block.prepared);
+  const size_t n = block.size();
+  switch (batch_kernel()) {
+    case BatchKernel::kDot:
+      DotScoreBatch(queries, block.gathered_t, pool_scores);
+      if (!block.bias.empty()) {
+        for (size_t q = 0; q < queries.rows(); ++q) {
+          float* row = pool_scores + q * n;
+          for (size_t c = 0; c < n; ++c) row[c] += block.bias[c];
+        }
+      }
+      return;
+    case BatchKernel::kNegL1:
+      NegL1ScoreBatch(queries, block.gathered_t, pool_scores);
+      return;
+    case BatchKernel::kNegComplexDist:
+      NegComplexDistScoreBatch(queries, block.gathered_t, batch_kernel_eps(),
+                               pool_scores);
+      return;
+  }
+}
+
+void KgeModel::ScoreCandidates(int32_t anchor, int32_t relation,
+                               QueryDirection direction,
+                               const int32_t* candidates, size_t n,
+                               float* out) const {
+  KGEVAL_CHECK(candidate_embeddings() != nullptr)
+      << name() << " must override ScoreCandidates or expose a kernel surface";
+  Matrix queries;
+  BuildKernelQueries(&anchor, 1, relation, direction, &queries);
+  ScoreWithQuery(queries, 0, candidates, n, out);
+}
+
 void KgeModel::ScoreBatch(const int32_t* anchors, size_t num_queries,
                           int32_t relation, QueryDirection direction,
                           const int32_t* candidates, size_t n,
                           float* out) const {
-  for (size_t q = 0; q < num_queries; ++q) {
-    ScoreCandidates(anchors[q], relation, direction, candidates, n,
-                    out + q * n);
+  if (candidate_embeddings() == nullptr) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      ScoreCandidates(anchors[q], relation, direction, candidates, n,
+                      out + q * n);
+    }
+    return;
   }
+  CandidateBlock block;
+  PrepareCandidates(candidates, n, &block);
+  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
+             nullptr);
 }
 
 void KgeModel::ScorePairs(const int32_t* anchors, const int32_t* candidates,
                           size_t num_queries, size_t candidates_per_query,
                           int32_t relation, QueryDirection direction,
                           float* out) const {
+  if (candidate_embeddings() == nullptr) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      ScoreCandidates(anchors[q], relation, direction,
+                      candidates + q * candidates_per_query,
+                      candidates_per_query, out + q * candidates_per_query);
+    }
+    return;
+  }
+  // One query construction per anchor, reused across its k candidates — the
+  // fusion that matters for ConvE/TuckER, whose query construction dominates
+  // per-triple cost.
+  Matrix queries;
+  BuildKernelQueries(anchors, num_queries, relation, direction, &queries);
   for (size_t q = 0; q < num_queries; ++q) {
-    ScoreCandidates(anchors[q], relation, direction,
-                    candidates + q * candidates_per_query,
-                    candidates_per_query, out + q * candidates_per_query);
+    ScoreWithQuery(queries, q, candidates + q * candidates_per_query,
+                   candidates_per_query, out + q * candidates_per_query);
   }
 }
 
@@ -82,11 +179,32 @@ void KgeModel::FillCandidateIds(const int32_t* candidates, size_t n,
   block->sorted = std::is_sorted(candidates, candidates + n);
   block->prepared = false;
   block->bias.clear();
+  block->quantized = false;
+  block->q8.clear();
+  block->q8i.clear();
+  block->q8_colsum.clear();
+  block->q8_scale.clear();
+  block->q8_err.clear();
+  block->q8_amp.clear();
+  block->q8_lo.clear();
+  block->q8_hi.clear();
+  block->q8_bias_amp = 0.0f;
 }
 
 void KgeModel::PrepareCandidates(const int32_t* candidates, size_t n,
                                  CandidateBlock* block) const {
   FillCandidateIds(candidates, n, block);
+  const Matrix* entities = candidate_embeddings();
+  if (entities == nullptr) return;
+  GatherRowsT(*entities, candidates, n, &block->gathered_t);
+  const Matrix* bias = candidate_bias();
+  if (bias != nullptr) {
+    block->bias.resize(n);
+    for (size_t c = 0; c < n; ++c) {
+      block->bias[c] = bias->At(static_cast<size_t>(candidates[c]), 0);
+    }
+  }
+  block->prepared = true;
 }
 
 void KgeModel::ScoreBlock(const int32_t* anchors, const int32_t* truths,
@@ -94,15 +212,28 @@ void KgeModel::ScoreBlock(const int32_t* anchors, const int32_t* truths,
                           QueryDirection direction,
                           const CandidateBlock& block, float* pool_scores,
                           float* truth_scores) const {
-  // Unfused fallback for blocks without a model-specific layout: pays one
-  // query construction per requested output, like the pre-fusion engine.
-  if (pool_scores != nullptr) {
-    ScoreBatch(anchors, num_queries, relation, direction, block.ids.data(),
-               block.ids.size(), pool_scores);
+  if (!block.prepared) {
+    // Unfused fallback for blocks without a model-specific layout: pays one
+    // query construction per requested output, like the pre-fusion engine.
+    if (pool_scores != nullptr) {
+      ScoreBatch(anchors, num_queries, relation, direction, block.ids.data(),
+                 block.ids.size(), pool_scores);
+    }
+    if (truth_scores != nullptr) {
+      ScorePairs(anchors, truths, num_queries, 1, relation, direction,
+                 truth_scores);
+    }
+    return;
   }
+  // Fused path: one query construction feeds both the batched pool kernel
+  // and the per-query truth reduction.
+  Matrix queries;
+  BuildKernelQueries(anchors, num_queries, relation, direction, &queries);
+  if (pool_scores != nullptr) ScorePool(queries, block, pool_scores);
   if (truth_scores != nullptr) {
-    ScorePairs(anchors, truths, num_queries, 1, relation, direction,
-               truth_scores);
+    for (size_t q = 0; q < num_queries; ++q) {
+      ScoreWithQuery(queries, q, &truths[q], 1, &truth_scores[q]);
+    }
   }
 }
 

@@ -44,6 +44,17 @@ struct ModelOptions {
   uint64_t seed = 7;
 };
 
+/// The reduction family a model's prepared-pool scoring collapses to once
+/// its per-anchor query rows are built. Every model folds (anchor, relation)
+/// into query vectors (BuildKernelQueries); what remains is one of three
+/// batched reductions against the candidate tile, dispatched through the
+/// runtime-selected ScoreKernels table (la/kernels).
+enum class BatchKernel {
+  kDot = 0,         // score = q . e (+ per-entity bias when candidate_bias()).
+  kNegL1,           // score = -||q - e||_1 (translational models).
+  kNegComplexDist,  // score = -sum_j sqrt(dre^2 + dim^2 + eps), split re/im.
+};
+
 /// A candidate pool prepared once and scored many times. PrepareCandidates
 /// fills the pool's ids plus a model-specific gathered layout: the dot- and
 /// distance-kernel models store the pool's entity embeddings transposed
@@ -52,6 +63,11 @@ struct ModelOptions {
 /// gathers the per-candidate entity bias. Preparing costs one gather +
 /// transpose; every subsequent ScoreBlock call against the block reuses it,
 /// removing the per-call re-gather the batched engine used to pay.
+///
+/// QuantizeCandidateBlock (eval/screen.h) can additionally attach an int8
+/// sidecar of the tile for the screening pass: per-dim symmetric
+/// quantization with the exact per-dim reconstruction-error and magnitude
+/// bounds the screener's conservative band test needs.
 struct CandidateBlock {
   std::vector<int32_t> ids;  // The pool, in caller order.
   bool sorted = false;       // ids are non-decreasing (a pool invariant the
@@ -59,6 +75,21 @@ struct CandidateBlock {
   bool prepared = false;     // Model-specific layout was filled in.
   Matrix gathered_t;         // Transposed candidate tile (see above).
   std::vector<float> bias;   // ConvE: per-candidate entity bias.
+
+  bool quantized = false;       // int8 sidecar was filled in.
+  std::vector<int8_t> q8;       // dim x n int8 tile, same transposed layout.
+  std::vector<int8_t> q8i;      // Same values quad-interleaved for the
+                                // integer dot kernel: ceil(dim/4) groups of
+                                // 4 dims, n candidates x 4 bytes per group,
+                                // zero-padded past dim.
+  std::vector<int32_t> q8_colsum;  // Per-candidate sum of its q8 bytes
+                                   // (removes the +128 query offset).
+  std::vector<float> q8_scale;  // Per-dim dequantization scale.
+  std::vector<float> q8_err;    // Per-dim max |exact - dequantized|.
+  std::vector<float> q8_amp;    // Per-dim max |exact| (fp-slack term).
+  std::vector<float> q8_lo;     // Per-dim exact min (tile-skip bound).
+  std::vector<float> q8_hi;     // Per-dim exact max (tile-skip bound).
+  float q8_bias_amp = 0.0f;     // max |bias| (0 when the model has none).
 
   size_t size() const { return ids.size(); }
 };
@@ -95,20 +126,71 @@ class KgeModel {
   /// num_relations * num_timestamps for time-aware models.
   virtual int32_t num_kernel_relations() const { return num_relations_; }
 
+  /// --- Kernel surface -------------------------------------------------------
+  /// The concrete models describe themselves to the generic scoring engine
+  /// through four hooks instead of overriding the scoring methods: which
+  /// batched reduction they collapse to, the embedding table candidates are
+  /// gathered from, an optional per-entity bias, and how to fold
+  /// (anchor, relation, direction) into per-query kernel rows. Everything
+  /// else — single-query scoring, batching, pool preparation, fused blocks,
+  /// screening — is implemented once in the base class on top of these.
+  /// A model (e.g. a test fake) that returns nullptr from
+  /// candidate_embeddings() opts out and must override ScoreCandidates;
+  /// the generic engine then falls back to per-query loops over it.
+
+  /// The reduction family the model's scoring collapses to.
+  virtual BatchKernel batch_kernel() const { return BatchKernel::kDot; }
+
+  /// Epsilon inside the per-coordinate sqrt for kNegComplexDist (RotatE).
+  virtual float batch_kernel_eps() const { return 0.0f; }
+
+  /// The table candidate rows are drawn from, or nullptr when the model has
+  /// no kernel surface (fallback scoring via ScoreCandidates overrides).
+  virtual const Matrix* candidate_embeddings() const { return nullptr; }
+
+  /// Optional per-entity bias column (num_entities x 1), added to kDot
+  /// scores after the reduction (ConvE). nullptr = no bias.
+  virtual const Matrix* candidate_bias() const { return nullptr; }
+
+  /// Folds each (anchors[q], relation, direction) query into one kernel row:
+  /// resizes `queries` to num_queries x kernel-dim and fills row q with the
+  /// vector whose batch_kernel() reduction against an entity row is the
+  /// model's score. Direction-symmetric models ignore `direction`.
+  virtual void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                  int32_t relation, QueryDirection direction,
+                                  Matrix* queries) const;
+
+  /// Scores candidates[0..n) against query row q of a BuildKernelQueries
+  /// matrix, reading raw embedding rows (no prepared tile). This is the
+  /// scalar reference reduction: the batched tile path is bit-identical to
+  /// it per cell. Requires a kernel surface.
+  void ScoreWithQuery(const Matrix& queries, size_t q,
+                      const int32_t* candidates, size_t n, float* out) const;
+
+  /// Scores every query row against a prepared pool through the active
+  /// dispatch kernel: pool_scores[q * block.size() + c]. Requires a kernel
+  /// surface and a prepared block.
+  void ScorePool(const Matrix& queries, const CandidateBlock& block,
+                 float* pool_scores) const;
+
+  /// --------------------------------------------------------------------------
+
   /// Scores `n` candidate entities for a query. For kTail queries the anchor
   /// is the head and candidates are tails; for kHead queries the anchor is
-  /// the tail and candidates are heads. Higher = more plausible.
+  /// the tail and candidates are heads. Higher = more plausible. The base
+  /// implementation builds one kernel query row and reduces with
+  /// ScoreWithQuery; models without a kernel surface override it.
   virtual void ScoreCandidates(int32_t anchor, int32_t relation,
                                QueryDirection direction,
                                const int32_t* candidates, size_t n,
-                               float* out) const = 0;
+                               float* out) const;
 
   /// Scores `num_queries` queries that share a (relation, direction) slot
   /// against one shared candidate pool. `out` is row-major num_queries x n:
-  /// out[q * n + c] is the score of candidates[c] for anchors[q]. The base
-  /// implementation loops over ScoreCandidates; the bilinear/translational
-  /// models override it with a gather-once, blocked batch kernel whose
-  /// per-cell results match ScoreCandidates bit-for-bit. This is the
+  /// out[q * n + c] is the score of candidates[c] for anchors[q]. With a
+  /// kernel surface this prepares the pool once and runs the gather-once,
+  /// blocked batch kernel, whose per-cell results match ScoreCandidates
+  /// bit-for-bit; without one it loops over ScoreCandidates. This is the
   /// evaluation hot path: slot-major evaluators feed whole slots here.
   virtual void ScoreBatch(const int32_t* anchors, size_t num_queries,
                           int32_t relation, QueryDirection direction,
@@ -129,9 +211,9 @@ class KgeModel {
                           float* out) const;
 
   /// Gathers (and transposes) the pool's embeddings once into the
-  /// model-specific CandidateBlock layout. The base implementation only
-  /// records the ids and the pool's sortedness; models override it to add
-  /// their gathered tile. Thread-safe, like all scoring.
+  /// CandidateBlock layout (plus the bias gather when the model has one).
+  /// Without a kernel surface only the ids and the pool's sortedness are
+  /// recorded. Thread-safe, like all scoring.
   virtual void PrepareCandidates(const int32_t* candidates, size_t n,
                                  CandidateBlock* block) const;
 

@@ -6,8 +6,11 @@
 
 namespace kgeval {
 namespace {
+// Inside the per-coordinate sqrt: keeps the distance differentiable at 0.
 constexpr float kEps = 1e-9f;
 }
+
+float RotatE::batch_kernel_eps() const { return kEps; }
 
 RotatE::RotatE(int32_t num_entities, int32_t num_relations,
                ModelOptions options)
@@ -23,26 +26,9 @@ RotatE::RotatE(int32_t num_entities, int32_t num_relations,
                       static_cast<float>(M_PI));
 }
 
-namespace {
-
-/// -sum_j |q_j - e_j| over the complex coordinates (re in [0, m), im in
-/// [m, 2m)). Sequential over j, matching the scalar path bit-for-bit.
-inline float NegComplexDistance(const float* __restrict q,
-                                const float* __restrict e, int32_t m) {
-  float dist = 0.0f;
-  for (int32_t j = 0; j < m; ++j) {
-    const float dre = q[j] - e[j];
-    const float dim = q[m + j] - e[m + j];
-    dist += std::sqrt(dre * dre + dim * dim + kEps);
-  }
-  return -dist;
-}
-
-}  // namespace
-
-void RotatE::BuildQueries(const int32_t* anchors, size_t num_queries,
-                          int32_t relation, QueryDirection direction,
-                          Matrix* queries) const {
+void RotatE::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                int32_t relation, QueryDirection direction,
+                                Matrix* queries) const {
   const int32_t m = half_;
   const float* theta = phases_.Row(relation);
   // Rotate each anchor so the score is a plain complex distance to the
@@ -63,77 +49,6 @@ void RotatE::BuildQueries(const int32_t* anchors, size_t num_queries,
       const float re = a[j], im = a[m + j];
       row[j] = re * cos_theta[j] - im * sin_theta[j];
       row[m + j] = re * sin_theta[j] + im * cos_theta[j];
-    }
-  }
-}
-
-void RotatE::ScoreCandidates(int32_t anchor, int32_t relation,
-                             QueryDirection direction,
-                             const int32_t* candidates, size_t n,
-                             float* out) const {
-  Matrix query;
-  BuildQueries(&anchor, 1, relation, direction, &query);
-  for (size_t k = 0; k < n; ++k) {
-    out[k] = NegComplexDistance(query.Row(0), entities_.Row(candidates[k]),
-                                half_);
-  }
-}
-
-void RotatE::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                        int32_t relation, QueryDirection direction,
-                        const int32_t* candidates, size_t n,
-                        float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void RotatE::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                        size_t num_queries, size_t candidates_per_query,
-                        int32_t relation, QueryDirection direction,
-                        float* out) const {
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      out[q * k + j] = NegComplexDistance(
-          queries.Row(q), entities_.Row(candidates[q * k + j]), half_);
-    }
-  }
-}
-
-void RotatE::PrepareCandidates(const int32_t* candidates, size_t n,
-                               CandidateBlock* block) const {
-  // The transposed tile's top/bottom halves are the candidates' re/im
-  // planes, which NegComplexDistScoreBatch pairs per complex coordinate.
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->prepared = true;
-}
-
-void RotatE::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                        size_t num_queries, int32_t relation,
-                        QueryDirection direction, const CandidateBlock& block,
-                        float* pool_scores, float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  if (pool_scores != nullptr) {
-    // Per cell this accumulates the distance across complex coordinates in
-    // exactly NegComplexDistance's order, with candidates as independent
-    // vector lanes.
-    NegComplexDistScoreBatch(queries, block.gathered_t, kEps, pool_scores);
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] = NegComplexDistance(queries.Row(q),
-                                           entities_.Row(truths[q]), half_);
     }
   }
 }

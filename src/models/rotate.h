@@ -13,27 +13,20 @@ class RotatE : public KgeModel {
  public:
   RotatE(int32_t num_entities, int32_t num_relations, ModelOptions options);
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override {
+    return BatchKernel::kNegComplexDist;
+  }
+  float batch_kernel_eps() const override;
+  const Matrix* candidate_embeddings() const override { return &entities_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// Rotates each anchor by the relation's phases (conjugated for head
+  /// queries), making the score a plain complex distance to the candidate
+  /// (the transposed tile's top/bottom halves are the re/im planes). The
+  /// cos/sin of the shared phase vector is computed once per call instead
+  /// of once per query — RotatE's biggest batching win.
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -41,13 +34,6 @@ class RotatE : public KgeModel {
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
-  /// Rotates each anchor by the relation's phases (conjugated for head
-  /// queries). The cos/sin of the shared phase vector is computed once per
-  /// call instead of once per query — RotatE's biggest batching win.
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t relation, QueryDirection direction,
-                    Matrix* queries) const;
-
   int32_t half_;     // d / 2 complex coordinates.
   Matrix entities_;  // |E| x d.
   Matrix phases_;    // |R| x d/2.

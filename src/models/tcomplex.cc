@@ -41,9 +41,9 @@ TComplEx::TComplEx(int32_t num_entities, int32_t num_relations,
   timestamps_.InitXavier(&rng, options.dim, options.dim);
 }
 
-void TComplEx::BuildQueries(const int32_t* anchors, size_t num_queries,
-                            int32_t relation, QueryDirection direction,
-                            Matrix* queries) const {
+void TComplEx::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                  int32_t relation, QueryDirection direction,
+                                  Matrix* queries) const {
   const int32_t m = half_;
   // Decode the virtual kernel id into (relation, timestamp).
   const int32_t r = relation % num_relations_;
@@ -80,78 +80,6 @@ void TComplEx::BuildQueries(const int32_t* anchors, size_t num_queries,
         row[i] = cp * e + dp * f;
         row[m + i] = cp * f - dp * e;
       }
-    }
-  }
-}
-
-void TComplEx::ScoreCandidates(int32_t anchor, int32_t relation,
-                               QueryDirection direction,
-                               const int32_t* candidates, size_t n,
-                               float* out) const {
-  Matrix query;
-  BuildQueries(&anchor, 1, relation, direction, &query);
-  for (size_t k = 0; k < n; ++k) {
-    out[k] = Dot(query.Row(0), entities_.Row(candidates[k]),
-                 static_cast<size_t>(2 * half_));
-  }
-}
-
-void TComplEx::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                          int32_t relation, QueryDirection direction,
-                          const int32_t* candidates, size_t n,
-                          float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void TComplEx::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                          size_t num_queries, size_t candidates_per_query,
-                          int32_t relation, QueryDirection direction,
-                          float* out) const {
-  const size_t d = static_cast<size_t>(2 * half_);
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      out[q * k + j] =
-          Dot(queries.Row(q), entities_.Row(candidates[q * k + j]), d);
-    }
-  }
-}
-
-void TComplEx::PrepareCandidates(const int32_t* candidates, size_t n,
-                                 CandidateBlock* block) const {
-  // The folded query makes scoring a plain dot product, so the transposed
-  // tile is exactly ComplEx's: the candidates' re/im planes. The tile is
-  // time-independent, which is what lets one prepared pool serve every
-  // timestamp of a relation's schedule run.
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->prepared = true;
-}
-
-void TComplEx::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                          size_t num_queries, int32_t relation,
-                          QueryDirection direction,
-                          const CandidateBlock& block, float* pool_scores,
-                          float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  const size_t d = static_cast<size_t>(2 * half_);
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  if (pool_scores != nullptr) {
-    DotScoreBatch(queries, block.gathered_t, pool_scores);
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] = Dot(queries.Row(q), entities_.Row(truths[q]), d);
     }
   }
 }

@@ -30,27 +30,18 @@ class TComplEx : public KgeModel {
     return num_relations_ * num_timestamps_;
   }
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override { return BatchKernel::kDot; }
+  const Matrix* candidate_embeddings() const override { return &entities_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// Folds anchor and the (relation (.) timestamp) product into one complex
+  /// query row per anchor, exactly like ComplEx with the composed relation;
+  /// the score is then a plain dot product with the candidate embedding.
+  /// `relation` is a virtual kernel id. The candidate tile is
+  /// time-independent, which is what lets one prepared pool serve every
+  /// timestamp of a relation's schedule run.
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -58,14 +49,6 @@ class TComplEx : public KgeModel {
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
-  /// Folds anchor and the (relation (.) timestamp) product into one complex
-  /// query row per anchor, exactly like ComplEx with the composed relation;
-  /// the score is then a plain dot product with the candidate embedding.
-  /// `relation` is a virtual kernel id.
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t relation, QueryDirection direction,
-                    Matrix* queries) const;
-
   int32_t half_;            // d / 2
   int32_t num_timestamps_;  // |T| >= 1
   Matrix entities_;

@@ -18,9 +18,9 @@ TransE::TransE(int32_t num_entities, int32_t num_relations,
   relations_.InitXavier(&rng, options.dim, options.dim);
 }
 
-void TransE::BuildQueries(const int32_t* anchors, size_t num_queries,
-                          int32_t relation, QueryDirection direction,
-                          Matrix* queries) const {
+void TransE::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                int32_t relation, QueryDirection direction,
+                                Matrix* queries) const {
   const size_t d = entities_.cols();
   const float* r = relations_.Row(relation);
   queries->Resize(num_queries, d);
@@ -33,74 +33,6 @@ void TransE::BuildQueries(const int32_t* anchors, size_t num_queries,
     } else {
       // score = -|| h - (t - r) ||_1
       for (size_t i = 0; i < d; ++i) row[i] = a[i] - r[i];
-    }
-  }
-}
-
-void TransE::ScoreCandidates(int32_t anchor, int32_t relation,
-                             QueryDirection direction,
-                             const int32_t* candidates, size_t n,
-                             float* out) const {
-  const size_t d = entities_.cols();
-  Matrix query;
-  BuildQueries(&anchor, 1, relation, direction, &query);
-  for (size_t c = 0; c < n; ++c) {
-    out[c] = -L1Distance(query.Row(0), entities_.Row(candidates[c]), d);
-  }
-}
-
-void TransE::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                        int32_t relation, QueryDirection direction,
-                        const int32_t* candidates, size_t n,
-                        float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void TransE::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                        size_t num_queries, size_t candidates_per_query,
-                        int32_t relation, QueryDirection direction,
-                        float* out) const {
-  const size_t d = entities_.cols();
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      out[q * k + j] = -L1Distance(queries.Row(q),
-                                   entities_.Row(candidates[q * k + j]), d);
-    }
-  }
-}
-
-void TransE::PrepareCandidates(const int32_t* candidates, size_t n,
-                               CandidateBlock* block) const {
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->prepared = true;
-}
-
-void TransE::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                        size_t num_queries, int32_t relation,
-                        QueryDirection direction, const CandidateBlock& block,
-                        float* pool_scores, float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  const size_t d = entities_.cols();
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  if (pool_scores != nullptr) {
-    NegL1ScoreBatch(queries, block.gathered_t, pool_scores);
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] =
-          -L1Distance(queries.Row(q), entities_.Row(truths[q]), d);
     }
   }
 }

@@ -11,27 +11,14 @@ class TransE : public KgeModel {
  public:
   TransE(int32_t num_entities, int32_t num_relations, ModelOptions options);
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override { return BatchKernel::kNegL1; }
+  const Matrix* candidate_embeddings() const override { return &entities_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// One translated query row per anchor: h + r for tail queries, t - r for
+  /// head queries; scoring is then -L1(query, candidate).
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -42,12 +29,6 @@ class TransE : public KgeModel {
   const Matrix& relations() const { return relations_; }
 
  private:
-  /// One translated query row per anchor: h + r for tail queries, t - r for
-  /// head queries; scoring is then -L1(query, candidate).
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t relation, QueryDirection direction,
-                    Matrix* queries) const;
-
   Matrix entities_;
   Matrix relations_;
   AdamState entity_adam_;

@@ -25,9 +25,9 @@ TuckEr::TuckEr(int32_t num_entities, int32_t num_relations,
   core_.InitGaussian(&rng, 0.1f);
 }
 
-void TuckEr::BuildQueries(const int32_t* anchors, size_t num_queries,
-                          int32_t relation, QueryDirection direction,
-                          Matrix* queries) const {
+void TuckEr::BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                                int32_t relation, QueryDirection direction,
+                                Matrix* queries) const {
   const float* r = relations_.Row(relation);
   const float* w = core_.Row(0);
   // Contract the core with each anchor and the relation, leaving a
@@ -56,72 +56,6 @@ void TuckEr::BuildQueries(const int32_t* anchors, size_t num_queries,
         }
         row[i] = acc;
       }
-    }
-  }
-}
-
-void TuckEr::ScoreCandidates(int32_t anchor, int32_t relation,
-                             QueryDirection direction,
-                             const int32_t* candidates, size_t n,
-                             float* out) const {
-  Matrix query;
-  BuildQueries(&anchor, 1, relation, direction, &query);
-  for (size_t c = 0; c < n; ++c) {
-    out[c] = Dot(query.Row(0), entities_.Row(candidates[c]), de_);
-  }
-}
-
-void TuckEr::ScoreBatch(const int32_t* anchors, size_t num_queries,
-                        int32_t relation, QueryDirection direction,
-                        const int32_t* candidates, size_t n,
-                        float* out) const {
-  CandidateBlock block;
-  PrepareCandidates(candidates, n, &block);
-  ScoreBlock(anchors, nullptr, num_queries, relation, direction, block, out,
-             nullptr);
-}
-
-void TuckEr::ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                        size_t num_queries, size_t candidates_per_query,
-                        int32_t relation, QueryDirection direction,
-                        float* out) const {
-  const size_t k = candidates_per_query;
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (size_t j = 0; j < k; ++j) {
-      out[q * k + j] =
-          Dot(queries.Row(q), entities_.Row(candidates[q * k + j]), de_);
-    }
-  }
-}
-
-void TuckEr::PrepareCandidates(const int32_t* candidates, size_t n,
-                               CandidateBlock* block) const {
-  FillCandidateIds(candidates, n, block);
-  GatherRowsT(entities_, candidates, n, &block->gathered_t);
-  block->prepared = true;
-}
-
-void TuckEr::ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                        size_t num_queries, int32_t relation,
-                        QueryDirection direction, const CandidateBlock& block,
-                        float* pool_scores, float* truth_scores) const {
-  if (!block.prepared) {
-    KgeModel::ScoreBlock(anchors, truths, num_queries, relation, direction,
-                         block, pool_scores, truth_scores);
-    return;
-  }
-  // One core contraction per anchor (the dominant cost) serves both the
-  // pool matrix and the per-query truth score.
-  Matrix queries;
-  BuildQueries(anchors, num_queries, relation, direction, &queries);
-  if (pool_scores != nullptr) {
-    DotScoreBatch(queries, block.gathered_t, pool_scores);
-  }
-  if (truth_scores != nullptr) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      truth_scores[q] = Dot(queries.Row(q), entities_.Row(truths[q]), de_);
     }
   }
 }

@@ -13,27 +13,16 @@ class TuckEr : public KgeModel {
  public:
   TuckEr(int32_t num_entities, int32_t num_relations, ModelOptions options);
 
-  void ScoreCandidates(int32_t anchor, int32_t relation,
-                       QueryDirection direction, const int32_t* candidates,
-                       size_t n, float* out) const override;
+  BatchKernel batch_kernel() const override { return BatchKernel::kDot; }
+  const Matrix* candidate_embeddings() const override { return &entities_; }
 
-  void ScoreBatch(const int32_t* anchors, size_t num_queries,
-                  int32_t relation, QueryDirection direction,
-                  const int32_t* candidates, size_t n,
-                  float* out) const override;
-
-  void ScorePairs(const int32_t* anchors, const int32_t* candidates,
-                  size_t num_queries, size_t candidates_per_query,
-                  int32_t relation, QueryDirection direction,
-                  float* out) const override;
-
-  void PrepareCandidates(const int32_t* candidates, size_t n,
-                         CandidateBlock* block) const override;
-
-  void ScoreBlock(const int32_t* anchors, const int32_t* truths,
-                  size_t num_queries, int32_t relation,
-                  QueryDirection direction, const CandidateBlock& block,
-                  float* pool_scores, float* truth_scores) const override;
+  /// Contracts the core with each anchor and the relation, leaving one
+  /// length-de query row per anchor. This is TuckER's per-query O(de^2 dr)
+  /// cost; batching runs it once per query instead of once per candidate
+  /// tile.
+  void BuildKernelQueries(const int32_t* anchors, size_t num_queries,
+                          int32_t relation, QueryDirection direction,
+                          Matrix* queries) const override;
 
   void UpdateTriple(int32_t head, int32_t relation, int32_t tail,
                     QueryDirection direction, float dscore) override;
@@ -41,14 +30,6 @@ class TuckEr : public KgeModel {
   void CollectParameters(std::vector<NamedParameter>* out) override;
 
  private:
-  /// Contracts the core with each anchor and the relation, leaving one
-  /// length-de query row per anchor. This is TuckER's per-query O(de^2 dr)
-  /// cost; batching runs it once per query instead of once per candidate
-  /// tile.
-  void BuildQueries(const int32_t* anchors, size_t num_queries,
-                    int32_t relation, QueryDirection direction,
-                    Matrix* queries) const;
-
   /// Index into the flattened core: W[i][j][k] with i,k entity dims, j the
   /// relation dim.
   size_t CoreIndex(int32_t i, int32_t j, int32_t k) const {

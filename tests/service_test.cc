@@ -518,10 +518,12 @@ TEST_F(ServiceTest, StatsReportsDatasetAndCounters) {
   EXPECT_EQ(kv["dataset"], kPreset);
   for (const char* key : {"uptime_s", "connections", "accepted", "commands",
                           "errors", "items", "evals", "in_flight", "shed",
-                          "deadlines", "cancelled", "idle_closed",
-                          "threads"}) {
+                          "deadlines", "cancelled", "idle_closed", "threads",
+                          "kernels", "screen_queries", "screen_screened",
+                          "screen_rescored", "screen_tiles_skipped"}) {
     EXPECT_TRUE(kv.count(key)) << "STATS lacks " << key;
   }
+  EXPECT_NE(kv["kernels"], "") << "STATS must name the dispatched kernels";
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "la/kernels/kernels.h"
 #include "service/eval_server.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -28,7 +29,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host=ADDR] [--port=N] [--threads=N] "
                "[--executors=N] [--preload=DATASET] [--deadline=S]\n"
-               "       [--idle-timeout=S] [--max-queued=N]\n"
+               "       [--idle-timeout=S] [--max-queued=N] "
+               "[--kernels=NAME] [--screening]\n"
                "  --host=ADDR       bind address (default 127.0.0.1)\n"
                "  --port=N          TCP port; 0 picks an ephemeral one "
                "(default 7471)\n"
@@ -44,6 +46,12 @@ void Usage(const char* argv0) {
                "(default 0 = never)\n"
                "  --max-queued=N    executor backlog before ERR busy "
                "(default 256, 0 = unlimited)\n"
+               "  --kernels=NAME    force a score-kernel implementation "
+               "(scalar|avx2|avx512|neon|auto;\n"
+               "                    default: auto-probe, or "
+               "KGEVAL_KERNELS)\n"
+               "  --screening       int8 screening for every pass (served "
+               "values are bit-identical)\n"
                "\n"
                "KGEVAL_FAULTS=<spec> arms fault-injection points at "
                "startup (testing only; see docs/ARCHITECTURE.md).\n",
@@ -83,6 +91,15 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--max-queued", &value)) {
       options.max_queued_commands =
           static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--kernels", &value)) {
+      Status selected = SelectScoreKernels(value);
+      if (!selected.ok()) {
+        std::fprintf(stderr, "kgeval-server: --kernels: %s\n",
+                     selected.ToString().c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--screening") == 0) {
+      options.service.screening = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -119,6 +136,11 @@ int main(int argc, char** argv) {
   }
   EvalServer& s = *server.ValueOrDie();
 
+  // The selected dispatch path, logged once at startup: benchmark logs and
+  // bug reports need to say which ISA actually scored.
+  KGEVAL_LOG(Info) << "score kernels: " << ActiveScoreKernelName()
+                   << (options.service.screening ? " (screening on)"
+                                                 : " (screening off)");
   std::printf("LISTENING %u\n", s.port());
   std::fflush(stdout);
 
