@@ -1,10 +1,10 @@
 #include "core/eval_session.h"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
 
 #include "sched/task_group.h"
+#include "util/mutex.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -29,7 +29,9 @@ std::vector<Outcome> SweepCheckpoints(
   std::atomic<size_t> resident{0};
   std::atomic<size_t> high_water{0};
   std::atomic<size_t> failed{0};
-  std::mutex progress_mutex;
+  // Serializes the user's progress callback: jobs finish on
+  // concurrent job threads, but the stream must never interleave.
+  Mutex progress_mutex;
   RunJobsConcurrently(paths.size(), [&](size_t i) {
     // Checked before the load so a cancelled sweep stops paying the
     // expensive part immediately; passes already in flight wind down
@@ -63,7 +65,7 @@ std::vector<Outcome> SweepCheckpoints(
       }
     }
     if (progress) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
+      MutexLock lock(&progress_mutex);
       progress(i, outcomes[i]);
     }
   });

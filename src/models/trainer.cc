@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cmath>
 #include <filesystem>
-#include <mutex>
 #include <system_error>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "models/checkpoint.h"
 #include "sched/task_group.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -99,7 +99,11 @@ double Trainer::TrainEpoch(KgeModel* model, int32_t epoch) {
   const size_t num_chunks = threads;
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
 
-  std::mutex loss_mutex;
+  // Guards the scalar loss reduction across chunk tasks. The
+  // accumulation order is chunk-completion order — total_loss is
+  // reported, never fed back into training, so this is the one
+  // float sum in the repo allowed to be non-deterministic.
+  Mutex loss_mutex;
   double total_loss = 0.0;
   if (num_chunks == 1) {
     total_loss = RunChunk(*dataset_, order, 0, n, options_,
@@ -116,7 +120,7 @@ double Trainer::TrainEpoch(KgeModel* model, int32_t epoch) {
       group.Submit([&, lo, hi, seed] {
         const double loss =
             RunChunk(*dataset_, order, lo, hi, options_, seed, model);
-        std::lock_guard<std::mutex> lock(loss_mutex);
+        MutexLock lock(&loss_mutex);
         total_loss += loss;
       });
     }

@@ -26,8 +26,11 @@ void Connection::Start(LineFn on_line, CloseFn on_close) {
   on_line_ = std::move(on_line);
   on_close_ = std::move(on_close);
   auto self = shared_from_this();
-  loop_->Add(fd_, kEventRead,
-             [self](uint32_t events) { self->HandleReady(events); });
+  loop_->Add(fd_, kEventRead, [self](uint32_t events) {
+    // Callback entry: claim the loop-thread capability for the dispatch.
+    self->loop_->AssertOnLoopThread();
+    self->HandleReady(events);
+  });
 }
 
 void Connection::HandleReady(uint32_t events) {
@@ -113,7 +116,7 @@ void Connection::ExtractLines() {
 }
 
 bool Connection::Enqueue(std::string data) {
-  std::lock_guard<std::mutex> lock(out_mutex_);
+  MutexLock lock(&out_mutex_);
   if (closed_.load(std::memory_order_acquire)) return false;
   out_.append(data);
   bytes_sent_.fetch_add(data.size(), std::memory_order_relaxed);
@@ -123,9 +126,11 @@ bool Connection::Enqueue(std::string data) {
 void Connection::RequestFlush() {
   auto self = shared_from_this();
   if (loop_->InLoopThread()) {
+    loop_->AssertOnLoopThread();  // Claim what InLoopThread() just proved.
     FlushSome();
   } else {
     loop_->Post([self] {
+      self->loop_->AssertOnLoopThread();
       if (!self->closed()) self->FlushSome();
     });
   }
@@ -140,11 +145,11 @@ bool Connection::BlockingSend(std::string data) {
   KGEVAL_CHECK(!loop_->InLoopThread())
       << "BlockingSend would deadlock the loop thread";
   {
-    std::unique_lock<std::mutex> lock(out_mutex_);
-    below_high_water_.wait(lock, [&] {
-      return closed_.load(std::memory_order_acquire) ||
-             out_.size() - out_head_ <= options_.high_water_bytes;
-    });
+    MutexLock lock(&out_mutex_);
+    while (!closed_.load(std::memory_order_acquire) &&
+           out_.size() - out_head_ > options_.high_water_bytes) {
+      below_high_water_.Wait(lock);
+    }
     if (closed_.load(std::memory_order_acquire)) return false;
     out_.append(data);
     bytes_sent_.fetch_add(data.size(), std::memory_order_relaxed);
@@ -154,9 +159,9 @@ bool Connection::BlockingSend(std::string data) {
 }
 
 void Connection::FlushSome() {
-  bool drained = false;
+  size_t pending = 0;
   {
-    std::lock_guard<std::mutex> lock(out_mutex_);
+    MutexLock lock(&out_mutex_);
     if (closed_.load(std::memory_order_acquire)) return;
     while (out_head_ < out_.size()) {
       // Fault point "net.send.eagain": the socket pretends to be full, so
@@ -191,15 +196,22 @@ void Connection::FlushSome() {
       out_.erase(0, out_head_);
       out_head_ = 0;
     }
-    const size_t pending = out_.size() - out_head_;
-    want_write_ = pending > 0;
-    paused_by_high_water_ = pending > options_.high_water_bytes;
+    pending = out_.size() - out_head_;
     if (pending <= options_.low_water_bytes) {
-      below_high_water_.notify_all();
+      below_high_water_.NotifyAll();
     }
-    drained = pending == 0;
   }
-  if (drained && close_when_drained_) {
+  // want_write_ / paused_by_high_water_ are *loop-thread* state (read
+  // lock-free by UpdateInterest/HandleReadable on the loop thread), so they
+  // are written here, after out_mutex_ is dropped — writing them inside the
+  // locked region above, as this function used to, gave them two competing
+  // guards and no sound discipline. A BlockingSend appending between the
+  // unlock and these stores only makes `pending` stale low; its own
+  // RequestFlush posts another FlushSome that recomputes, exactly as with
+  // the old ordering.
+  want_write_ = pending > 0;
+  paused_by_high_water_ = pending > options_.high_water_bytes;
+  if (pending == 0 && close_when_drained_) {
     Close();
     return;
   }
@@ -237,8 +249,8 @@ void Connection::Close() {
   ::close(fd_);
   {
     // Wake BlockingSend waiters; they observe closed_ and bail.
-    std::lock_guard<std::mutex> lock(out_mutex_);
-    below_high_water_.notify_all();
+    MutexLock lock(&out_mutex_);
+    below_high_water_.NotifyAll();
   }
   if (on_close_) {
     // Moved-from first: the callback usually drops the server's owning

@@ -1,15 +1,15 @@
 #ifndef KGEVAL_NET_CONNECTION_H_
 #define KGEVAL_NET_CONNECTION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "net/event_loop.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgeval {
 
@@ -62,29 +62,31 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   /// Registers with the loop and starts delivering lines. Must run on the
   /// loop thread; a shared_ptr must already own `this`.
-  void Start(LineFn on_line, CloseFn on_close);
+  void Start(LineFn on_line, CloseFn on_close)
+      KGEVAL_REQUIRES(loop_->loop_cap);
 
   /// Queues `data` for writing. Never blocks; any thread; dropped if the
   /// connection is closed.
-  void Send(std::string data);
+  void Send(std::string data) KGEVAL_EXCLUDES(out_mutex_);
 
   /// Queues `data`, waiting first while the output buffer is above the
   /// high-water mark. Job threads only (the loop thread must never park
   /// here). Returns false — without queueing — once the connection closed.
-  bool BlockingSend(std::string data);
+  bool BlockingSend(std::string data) KGEVAL_EXCLUDES(out_mutex_);
 
   /// Flushes buffered output, then closes. New reads stop immediately.
-  void CloseWhenDrained();
+  /// Loop thread only.
+  void CloseWhenDrained() KGEVAL_REQUIRES(loop_->loop_cap);
 
   /// Closes now: deregisters, closes the fd, wakes BlockingSend waiters,
   /// fires the close callback once. Loop thread only.
-  void Close();
+  void Close() KGEVAL_REQUIRES(loop_->loop_cap) KGEVAL_EXCLUDES(out_mutex_);
 
   /// Server-side flow control, independent of the high-water pause: while
   /// paused the connection keeps the socket open but reads nothing. Loop
   /// thread only.
-  void PauseReads();
-  void ResumeReads();
+  void PauseReads() KGEVAL_REQUIRES(loop_->loop_cap);
+  void ResumeReads() KGEVAL_REQUIRES(loop_->loop_cap);
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
   int fd() const { return fd_; }
@@ -92,37 +94,41 @@ class Connection : public std::enable_shared_from_this<Connection> {
   uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
 
  private:
-  void HandleReady(uint32_t events);
-  void HandleReadable();
-  void ExtractLines();
+  void HandleReady(uint32_t events) KGEVAL_REQUIRES(loop_->loop_cap);
+  void HandleReadable() KGEVAL_REQUIRES(loop_->loop_cap);
+  void ExtractLines() KGEVAL_REQUIRES(loop_->loop_cap);
   /// Writes what the socket will take; updates pauses/interest. Loop
   /// thread only.
-  void FlushSome();
-  void UpdateInterest();
+  void FlushSome()
+      KGEVAL_REQUIRES(loop_->loop_cap) KGEVAL_EXCLUDES(out_mutex_);
+  void UpdateInterest() KGEVAL_REQUIRES(loop_->loop_cap);
   /// Appends under the output lock; returns false when closed.
-  bool Enqueue(std::string data);
-  /// Schedules a FlushSome on the loop thread.
+  bool Enqueue(std::string data) KGEVAL_EXCLUDES(out_mutex_);
+  /// Schedules a FlushSome on the loop thread. Any thread: flushes inline
+  /// when already on the loop, posts otherwise.
   void RequestFlush();
 
   EventLoop* loop_;
   const int fd_;
   const ConnectionOptions options_;
-  LineFn on_line_;
-  CloseFn on_close_;
 
-  // Loop-thread state.
-  std::string input_;
-  bool overflow_ = false;
-  bool paused_by_server_ = false;
-  bool paused_by_high_water_ = false;
-  bool close_when_drained_ = false;
-  bool want_write_ = false;
+  // Loop-thread state: guarded by the loop's virtual capability, i.e.
+  // touched only from loop callbacks (compile-enforced under clang, CHECKed
+  // in Debug via AssertOnLoopThread at every callback entry).
+  LineFn on_line_ KGEVAL_GUARDED_BY(loop_->loop_cap);
+  CloseFn on_close_ KGEVAL_GUARDED_BY(loop_->loop_cap);
+  std::string input_ KGEVAL_GUARDED_BY(loop_->loop_cap);
+  bool overflow_ KGEVAL_GUARDED_BY(loop_->loop_cap) = false;
+  bool paused_by_server_ KGEVAL_GUARDED_BY(loop_->loop_cap) = false;
+  bool paused_by_high_water_ KGEVAL_GUARDED_BY(loop_->loop_cap) = false;
+  bool close_when_drained_ KGEVAL_GUARDED_BY(loop_->loop_cap) = false;
+  bool want_write_ KGEVAL_GUARDED_BY(loop_->loop_cap) = false;
 
   // Output state shared between the loop thread and job threads.
-  std::mutex out_mutex_;
-  std::condition_variable below_high_water_;
-  std::string out_;
-  size_t out_head_ = 0;  // Bytes of out_ already written.
+  Mutex out_mutex_;
+  CondVar below_high_water_;
+  std::string out_ KGEVAL_GUARDED_BY(out_mutex_);
+  size_t out_head_ KGEVAL_GUARDED_BY(out_mutex_) = 0;  // Bytes already written.
 
   std::atomic<bool> closed_{false};
   std::atomic<uint64_t> bytes_sent_{0};

@@ -58,6 +58,9 @@ uint64_t PackKey(int fd, uint32_t generation) {
 }  // namespace
 
 EventLoop::EventLoop() {
+  // Construction happens before any Run(): the loop-thread capability is
+  // trivially claimable (the Debug check passes while no loop runs).
+  AssertOnLoopThread();
   int pipe_fds[2];
   KGEVAL_CHECK(::pipe(pipe_fds) == 0) << "pipe: errno " << errno;
   wakeup_read_ = pipe_fds[0];
@@ -78,6 +81,9 @@ EventLoop::EventLoop() {
 }
 
 EventLoop::~EventLoop() {
+  // Destruction mirrors construction: Run() has returned by now, so the
+  // capability is claimable from whichever thread tears the loop down.
+  AssertOnLoopThread();
   Remove(wakeup_read_);
 #ifdef KGEVAL_NET_EPOLL
   ::close(epoll_fd_);
@@ -123,6 +129,9 @@ void EventLoop::Remove(int fd) {
 
 void EventLoop::Run() {
   loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+  // This thread just *became* the loop thread; claim the capability for
+  // the dispatch loop below.
+  AssertOnLoopThread();
   stop_ = false;
   while (!stop_) {
     PollOnce(NextTimeoutMs(/*cap_ms=*/200));
@@ -180,6 +189,19 @@ bool EventLoop::InLoopThread() const {
          std::this_thread::get_id();
 }
 
+void EventLoop::AssertOnLoopThread() const {
+#ifndef NDEBUG
+  // "May touch loop state" means: the loop thread itself, or no loop is
+  // running at all (single-threaded construction, pre-Run() registration,
+  // post-Run() teardown — Run() publishes/clears loop_thread_ at entry and
+  // exit, and callers of those phases are externally serialized).
+  const std::thread::id loop = loop_thread_.load(std::memory_order_acquire);
+  KGEVAL_CHECK(loop == std::thread::id() || loop == std::this_thread::get_id())
+      << "loop-thread-only EventLoop state touched from another thread "
+      << "while the loop is running";
+#endif
+}
+
 void EventLoop::Stop() {
   stop_requested_.store(true);
   Wakeup();
@@ -187,7 +209,7 @@ void EventLoop::Stop() {
 
 void EventLoop::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(posted_mutex_);
+    MutexLock lock(&posted_mutex_);
     posted_.push_back(std::move(task));
   }
   Wakeup();
@@ -202,7 +224,7 @@ void EventLoop::Wakeup() {
 void EventLoop::RunPosted() {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> lock(posted_mutex_);
+    MutexLock lock(&posted_mutex_);
     tasks.swap(posted_);
   }
   for (auto& task : tasks) task();

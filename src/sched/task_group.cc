@@ -2,22 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/fault.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgeval {
 
 struct TaskGroup::State {
-  std::mutex mutex;
-  std::condition_variable done;
-  std::deque<std::function<void()>> queue;
+  Mutex mutex;
+  CondVar done;
+  std::deque<std::function<void()>> queue KGEVAL_GUARDED_BY(mutex);
   /// Queued + currently running tasks of this group.
-  size_t pending = 0;
+  size_t pending KGEVAL_GUARDED_BY(mutex) = 0;
 };
 
 TaskGroup::TaskGroup(ThreadPool* pool)
@@ -43,7 +43,7 @@ void TaskGroup::Submit(std::function<void()> task) {
   std::shared_ptr<State> state = state_;
   ThreadPool* pool = pool_;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(&state->mutex);
     state->queue.push_back(std::move(task));
     ++state->pending;
   }
@@ -53,7 +53,7 @@ void TaskGroup::Submit(std::function<void()> task) {
 bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(&state->mutex);
     if (state->queue.empty()) return false;  // Already drained elsewhere.
     task = std::move(state->queue.front());
     state->queue.pop_front();
@@ -61,8 +61,8 @@ bool TaskGroup::RunOne(const std::shared_ptr<State>& state) {
   // Same "sched.task.delay" probe as the inline path in Submit().
   FaultPoint("sched.task.delay");
   task();
-  std::lock_guard<std::mutex> lock(state->mutex);
-  if (--state->pending == 0) state->done.notify_all();
+  MutexLock lock(&state->mutex);
+  if (--state->pending == 0) state->done.NotifyAll();
   return true;
 }
 
@@ -71,8 +71,8 @@ void TaskGroup::Wait() {
   // contributes a worker's worth of progress to its own job.
   while (RunOne(state_)) {
   }
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->done.wait(lock, [this] { return state_->pending == 0; });
+  MutexLock lock(&state_->mutex);
+  while (state_->pending != 0) state_->done.Wait(lock);
 }
 
 void ParallelFor(size_t begin, size_t end,

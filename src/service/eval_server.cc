@@ -7,10 +7,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <unordered_set>
 #include <utility>
@@ -20,7 +18,9 @@
 #include "service/command.h"
 #include "util/cancel.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace kgeval {
@@ -61,6 +61,9 @@ struct EvalServer::Client {
 /// while waiting, exactly like RunJobsConcurrently's job threads.
 class EvalServer::Executor {
  public:
+  // The executor pool is the service's documented job-thread layer
+  // (blocking command threads, distinct from the scoring workers); these
+  // threads are joined in Shutdown().
   explicit Executor(size_t threads) {
     for (size_t i = 0; i < threads; ++i) {
       threads_.emplace_back([this] { Loop(); });
@@ -69,43 +72,43 @@ class EvalServer::Executor {
 
   ~Executor() { Shutdown(); }
 
-  void Submit(std::function<void()> fn) {
+  void Submit(std::function<void()> fn) KGEVAL_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       KGEVAL_CHECK(!stopping_) << "Submit after Executor::Shutdown";
       queue_.push(std::move(fn));
     }
-    work_.notify_one();
+    work_.NotifyOne();
   }
 
   /// Commands waiting for an executor thread (not the ones running). The
   /// load shedder's signal: a deep backlog means every executor is pinned
   /// and new work would only wait.
-  size_t QueuedDepth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t QueuedDepth() const KGEVAL_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return queue_.size();
   }
 
   /// Runs every queued job (they fail fast once connections are closed),
   /// then joins. Idempotent.
-  void Shutdown() {
+  void Shutdown() KGEVAL_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       stopping_ = true;
     }
-    work_.notify_all();
+    work_.NotifyAll();
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
   }
 
  private:
-  void Loop() {
+  void Loop() KGEVAL_EXCLUDES(mutex_) {
     while (true) {
       std::function<void()> fn;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(&mutex_);
+        while (!stopping_ && queue_.empty()) work_.Wait(lock);
         if (queue_.empty()) return;  // stopping_ and drained.
         fn = std::move(queue_.front());
         queue_.pop();
@@ -114,11 +117,12 @@ class EvalServer::Executor {
     }
   }
 
+  // kgeval-lint: allow(thread-containment): see the constructor note.
   std::vector<std::thread> threads_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar work_;
+  std::queue<std::function<void()>> queue_ KGEVAL_GUARDED_BY(mutex_);
+  bool stopping_ KGEVAL_GUARDED_BY(mutex_) = false;
 };
 
 EvalServer::EvalServer(Options options) : options_(std::move(options)) {}
@@ -133,6 +137,9 @@ Result<std::unique_ptr<EvalServer>> EvalServer::Start(Options options) {
 }
 
 Status EvalServer::Init() {
+  // The loop thread does not exist yet, so this thread may claim the
+  // loop-thread capability for the pre-Run registrations below.
+  loop_.AssertOnLoopThread();
   service_ = std::make_unique<EvalService>(options_.service);
   auto listener = CreateTcpListener(options_.host, options_.port);
   if (!listener.ok()) return listener.status();
@@ -158,16 +165,23 @@ Status EvalServer::Init() {
     KGEVAL_LOG(Info) << "preload " << reply;
   }
   // Registered before the loop thread exists, so no concurrent map access.
-  loop_.Add(listen_fd_, kEventRead, [this](uint32_t) { HandleAccept(); });
+  loop_.Add(listen_fd_, kEventRead, [this](uint32_t) {
+    loop_.AssertOnLoopThread();
+    HandleAccept();
+  });
   size_t executors = options_.executor_threads;
   if (executors == 0) {
     executors = std::max<size_t>(2, GlobalThreadPool()->num_threads());
   }
   executor_ = std::make_unique<Executor>(executors);
+  // kgeval-lint: allow(thread-containment): owned here, joined by Shutdown().
   loop_thread_ = std::thread([this] { loop_.Run(); });
   if (options_.idle_timeout_s > 0) {
     // Timers are loop-thread state; arm the first sweep from the loop.
-    loop_.Post([this] { ScheduleIdleSweep(); });
+    loop_.Post([this] {
+      loop_.AssertOnLoopThread();
+      ScheduleIdleSweep();
+    });
   }
   KGEVAL_LOG(Info) << "kgeval-server listening on " << options_.host << ":"
                    << port_ << " (" << executors << " executors)";
@@ -203,9 +217,11 @@ void EvalServer::HandleAccept() {
     std::weak_ptr<Client> weak = client;
     client->conn->Start(
         [this, weak](std::string_view line, bool overflow) {
+          loop_.AssertOnLoopThread();
           if (auto c = weak.lock()) OnLine(c, line, overflow);
         },
         [this, weak] {
+          loop_.AssertOnLoopThread();
           if (auto c = weak.lock()) OnClose(c);
         });
     client->conn->Send(StrFormat("KGEVAL %d\n", kProtocolVersion));
@@ -325,6 +341,7 @@ void EvalServer::PumpClient(const std::shared_ptr<Client>& client) {
           },
           token.get());
       loop_.Post([this, client] {
+        loop_.AssertOnLoopThread();
         if (client->deadline_timer != 0) {
           loop_.CancelTimer(client->deadline_timer);
           client->deadline_timer = 0;
@@ -341,6 +358,7 @@ void EvalServer::PumpClient(const std::shared_ptr<Client>& client) {
 
 void EvalServer::ScheduleIdleSweep() {
   loop_.RunAfter(std::max(0.01, options_.idle_timeout_s / 2), [this] {
+    loop_.AssertOnLoopThread();
     ReapIdleClients();
     ScheduleIdleSweep();
   });
@@ -372,7 +390,9 @@ void EvalServer::Shutdown() {
   if (!loop_thread_.joinable()) {
     // Init failed before the loop thread started (e.g. the bind): no
     // thread will ever service a Post, so waiting on one would deadlock
-    // the error return. Nothing runs concurrently — clean up inline.
+    // the error return. Nothing runs concurrently — clean up inline (the
+    // capability is claimable because no loop ever ran).
+    loop_.AssertOnLoopThread();
     if (listen_fd_ >= 0) {
       loop_.Remove(listen_fd_);
       ::close(listen_fd_);
@@ -385,6 +405,7 @@ void EvalServer::Shutdown() {
   // owns them; closing wakes any executor blocked in BlockingSend.
   std::promise<void> closed;
   loop_.Post([this, &closed] {
+    loop_.AssertOnLoopThread();
     loop_.Remove(listen_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -12,6 +12,7 @@
 #include "net/event_loop.h"
 #include "service/eval_service.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace kgeval {
 
@@ -85,29 +86,36 @@ class EvalServer {
   explicit EvalServer(Options options);
   Status Init();
 
-  void HandleAccept();
+  void HandleAccept() KGEVAL_REQUIRES(loop_.loop_cap);
   void OnLine(const std::shared_ptr<Client>& client, std::string_view line,
-              bool overflow);
-  void OnClose(const std::shared_ptr<Client>& client);
+              bool overflow) KGEVAL_REQUIRES(loop_.loop_cap);
+  void OnClose(const std::shared_ptr<Client>& client)
+      KGEVAL_REQUIRES(loop_.loop_cap);
   /// Starts queued requests until one dispatches to an executor (or the
   /// queue drains). Loop thread only.
-  void PumpClient(const std::shared_ptr<Client>& client);
-  void UpdateClientFlowControl(const std::shared_ptr<Client>& client);
+  void PumpClient(const std::shared_ptr<Client>& client)
+      KGEVAL_REQUIRES(loop_.loop_cap);
+  void UpdateClientFlowControl(const std::shared_ptr<Client>& client)
+      KGEVAL_REQUIRES(loop_.loop_cap);
   /// Self-rearming idle-connection sweep (loop thread only); runs every
   /// idle_timeout_s / 2 while the loop is alive.
-  void ScheduleIdleSweep();
-  void ReapIdleClients();
+  void ScheduleIdleSweep() KGEVAL_REQUIRES(loop_.loop_cap);
+  void ReapIdleClients() KGEVAL_REQUIRES(loop_.loop_cap);
 
   Options options_;
+  /// Written once in Init() (before the loop thread exists), read-only
+  /// afterwards: port() is callable from any thread.
   uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  std::unique_ptr<EvalService> service_;
   EventLoop loop_;
+  int listen_fd_ KGEVAL_GUARDED_BY(loop_.loop_cap) = -1;
+  std::unique_ptr<EvalService> service_;
+  // kgeval-lint: allow(thread-containment): owned here; Shutdown() joins it.
   std::thread loop_thread_;
   std::unique_ptr<Executor> executor_;
   /// Live clients; loop thread only. Shutdown closes them all (which is
   /// what wakes executors blocked on a slow client's backpressure).
-  std::unordered_set<std::shared_ptr<Client>> clients_;
+  std::unordered_set<std::shared_ptr<Client>> clients_
+      KGEVAL_GUARDED_BY(loop_.loop_cap);
   std::atomic<bool> shut_down_{false};
 };
 

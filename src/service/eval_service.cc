@@ -84,7 +84,7 @@ EvalService::EvalService(Options options)
               .count()) {}
 
 std::shared_ptr<const EvalService::Loaded> EvalService::Snapshot() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   return state_;
 }
 
@@ -166,7 +166,7 @@ void EvalService::ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit) {
   WallTimer timer;
   // One LOAD builds at a time: two clients racing LOADs would each burn a
   // recommender fit only for one result to be dropped.
-  std::lock_guard<std::mutex> load_lock(load_mutex_);
+  MutexLock load_lock(&load_mutex_);
   auto loaded = std::make_shared<Loaded>();
   loaded->name = name;
   loaded->split = split;
@@ -199,7 +199,7 @@ void EvalService::ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit) {
   const Dataset& dataset = loaded->synth->dataset;
   const int64_t sample_size = loaded->session->framework().SampleSize();
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     state_ = std::move(loaded);
   }
   auto state = Snapshot();

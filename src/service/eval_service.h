@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/eval_session.h"
@@ -13,6 +12,8 @@
 #include "service/command.h"
 #include "synth/config.h"
 #include "synth/generator.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgeval {
 
@@ -125,7 +126,7 @@ class EvalService {
     std::unique_ptr<EvalSession> session;
   };
 
-  std::shared_ptr<const Loaded> Snapshot() const;
+  std::shared_ptr<const Loaded> Snapshot() const KGEVAL_EXCLUDES(state_mutex_);
 
   void ExecuteLoad(const ParsedCommand& cmd, const EmitFn& emit);
   void ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit,
@@ -151,9 +152,11 @@ class EvalService {
   std::atomic<bool> shutting_down_{false};
   double start_seconds_;  // Monotonic epoch for uptime.
 
-  mutable std::mutex state_mutex_;
-  std::shared_ptr<const Loaded> state_;
-  std::mutex load_mutex_;  // Serializes LOAD builds, not readers.
+  mutable Mutex state_mutex_ KGEVAL_ACQUIRED_AFTER(load_mutex_);
+  std::shared_ptr<const Loaded> state_ KGEVAL_GUARDED_BY(state_mutex_);
+  /// Serializes LOAD builds, not readers; held across the whole build and
+  /// therefore ordered strictly before the brief state_mutex_ publish.
+  Mutex load_mutex_;
 };
 
 }  // namespace kgeval

@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace kgeval {
 
 namespace {
 
 /// The registered probe names. Adding a probe site means adding its name
-/// here AND documenting it in docs/ARCHITECTURE.md ("Fault points") — the
-/// chaos suite cross-checks the two.
+/// here AND documenting it in docs/ARCHITECTURE.md ("Fault points") —
+/// kgeval_lint's `fault-doc` rule cross-checks the two.
 const char* const kFaultPoints[] = {
     "io.checkpoint.open",     // checkpoint.cc: LoadModel open fails
     "io.checkpoint.read",     // checkpoint.cc: parameter read truncated
@@ -37,8 +38,8 @@ struct PointState {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<std::string, PointState> armed;
+  Mutex mutex;
+  std::unordered_map<std::string, PointState> armed KGEVAL_GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
@@ -154,7 +155,7 @@ bool Evaluate(const char* point, int* out_errno) {
   FaultSpec spec;
   {
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(&registry.mutex);
     auto it = registry.armed.find(point);
     if (it == registry.armed.end()) return false;
     PointState& state = it->second;
@@ -183,7 +184,7 @@ void ArmFault(const std::string& point, const FaultSpec& spec) {
       << "unknown fault point '" << point
       << "' (see FaultPointNames in util/fault.cc)";
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   const bool fresh = registry.armed.find(point) == registry.armed.end();
   registry.armed[point] = PointState{spec, 0, 0};
   if (fresh) {
@@ -193,7 +194,7 @@ void ArmFault(const std::string& point, const FaultSpec& spec) {
 
 void DisarmFault(const std::string& point) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   if (registry.armed.erase(point) > 0) {
     fault_internal::armed_points.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -201,7 +202,7 @@ void DisarmFault(const std::string& point) {
 
 void DisarmAllFaults() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   fault_internal::armed_points.fetch_sub(
       static_cast<int>(registry.armed.size()), std::memory_order_relaxed);
   registry.armed.clear();
@@ -209,7 +210,7 @@ void DisarmAllFaults() {
 
 int64_t FaultTriggerCount(const std::string& point) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   auto it = registry.armed.find(point);
   return it == registry.armed.end() ? 0 : it->second.fired;
 }

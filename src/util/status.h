@@ -90,8 +90,10 @@ class Result {
  public:
   /// Implicit construction from a value or from an error Status keeps call
   /// sites terse (`return value;` / `return Status::InvalidArgument(...)`).
-  Result(T value) : repr_(std::move(value)) {}                // NOLINT
-  Result(Status status) : repr_(std::move(status)) {}         // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, above
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, above
+  Result(Status status) : repr_(std::move(status)) {}
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
 

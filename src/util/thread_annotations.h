@@ -1,0 +1,91 @@
+#ifndef KGEVAL_UTIL_THREAD_ANNOTATIONS_H_
+#define KGEVAL_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (the capability system behind
+/// -Wthread-safety), compiled to nothing on every other compiler. They move
+/// the repo's locking contracts — "out_ is touched only under out_mutex_",
+/// "RunAfter is loop-thread-only" — from comments into the type system, so
+/// an unguarded access is a *compile error* under
+/// `cmake -DKGEVAL_THREAD_SAFETY=ON` with clang (CI's thread-safety leg)
+/// instead of a race TSan may or may not schedule.
+///
+/// Vocabulary (all applied to declarations):
+///  - KGEVAL_GUARDED_BY(mu): the member may be read/written only while `mu`
+///    is held.
+///  - KGEVAL_PT_GUARDED_BY(mu): the pointee (not the pointer) is guarded.
+///  - KGEVAL_REQUIRES(mu): callers must hold `mu` (or the named capability)
+///    around the call.
+///  - KGEVAL_EXCLUDES(mu): callers must NOT hold `mu` (the function
+///    acquires it itself; prevents self-deadlock).
+///  - KGEVAL_ACQUIRE/KGEVAL_RELEASE: the function takes/drops `mu`.
+///  - KGEVAL_CAPABILITY: marks a type as a capability. Used both for real
+///    mutexes and for *virtual* capabilities like EventLoop::LoopThread,
+///    where "holding the lock" means "running on the loop thread".
+///  - KGEVAL_ASSERT_CAPABILITY: the function dynamically checks the
+///    capability and the analysis may assume it afterwards — the bridge
+///    between a runtime CHECK (Debug) and the static contract (clang).
+///
+/// Naming: macros carry the KGEVAL_ prefix (no bare GUARDED_BY) so they can
+/// never collide with another library's shim in the same TU.
+
+#if defined(__clang__) && !defined(SWIG)
+#define KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define KGEVAL_CAPABILITY(x) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define KGEVAL_SCOPED_CAPABILITY \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define KGEVAL_GUARDED_BY(x) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define KGEVAL_PT_GUARDED_BY(x) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define KGEVAL_ACQUIRED_BEFORE(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define KGEVAL_ACQUIRED_AFTER(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define KGEVAL_REQUIRES(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define KGEVAL_REQUIRES_SHARED(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define KGEVAL_ACQUIRE(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define KGEVAL_ACQUIRE_SHARED(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define KGEVAL_RELEASE(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define KGEVAL_RELEASE_SHARED(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define KGEVAL_TRY_ACQUIRE(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define KGEVAL_EXCLUDES(...) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define KGEVAL_ASSERT_CAPABILITY(x) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define KGEVAL_RETURN_CAPABILITY(x) \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escapes the analysis for one function body. Reserved for code the
+/// analysis cannot model (e.g. lock/unlock split across callbacks); every
+/// use needs a comment saying why.
+#define KGEVAL_NO_THREAD_SAFETY_ANALYSIS \
+  KGEVAL_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // KGEVAL_UTIL_THREAD_ANNOTATIONS_H_

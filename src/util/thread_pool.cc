@@ -44,19 +44,19 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     queue_.push(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -64,13 +64,12 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
+      // Shutdown still drains queued work: only an *empty* queue lets a
+      // worker exit, so the destructor's contract ("drains the remaining
+      // queue, then joins") holds.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }

@@ -1,13 +1,14 @@
 #ifndef KGEVAL_UTIL_THREAD_POOL_H_
 #define KGEVAL_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgeval {
 
@@ -27,18 +28,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) KGEVAL_EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() KGEVAL_EXCLUDES(mutex_);
 
+  /// Immutable after the constructor returns (workers join in ~ThreadPool,
+  /// after every queue access has ceased), so reads need no lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ KGEVAL_GUARDED_BY(mutex_);
+  CondVar work_available_;
+  bool shutting_down_ KGEVAL_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool, lazily created, never destroyed (leaked on purpose so

@@ -1,0 +1,26 @@
+// Fixture: passes every rule (linted as src/eval/good.cc). Exercises the
+// near-miss patterns: tokens that look like violations but are not, plus a
+// correctly-reasoned suppression and a well-formed clang-tidy marker.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+// A comment may discuss -ffast-math, std::rand(), time(), or even
+// #include <immintrin.h> without tripping anything: rules run on
+// comment-stripped code.
+int Fixture() {
+  // kgeval-lint: allow(determinism): fixture proves suppressions work.
+  int noise = rand();
+  // strftime/my_rand/this_thread are token near-misses, not violations.
+  char buf[32];
+  std::tm tm_value = {};
+  std::strftime(buf, sizeof(buf), "%Y", &tm_value);
+  std::this_thread::yield();
+  const std::thread::id nobody{};
+  (void)nobody;
+  auto tick = std::chrono::steady_clock::now();
+  (void)tick;
+  int fine = 1;  // NOLINT(some-check): fixture shows the accepted form.
+  return noise + fine;
+}

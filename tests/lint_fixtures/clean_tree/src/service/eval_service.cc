@@ -1,0 +1,7 @@
+// Fixture tree: fully consistent with its docs — zero findings.
+void EvalService::ExecuteStats(const EmitFn& emit) {
+  emit(StrFormat("documented_key=%llu", a));
+}
+void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit) {
+  EmitError(emit, "documented-code", "in the table");
+}

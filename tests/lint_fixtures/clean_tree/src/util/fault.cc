@@ -1,0 +1,4 @@
+// Fixture tree: fully consistent with its docs — zero findings.
+const char* const kFaultPoints[] = {
+    "io.documented.probe",
+};

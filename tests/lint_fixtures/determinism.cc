@@ -1,0 +1,4 @@
+// Fixture: violates exactly `determinism` (linted as src/eval/bad.cc).
+#include <cstdlib>
+
+int Fixture() { return rand(); }

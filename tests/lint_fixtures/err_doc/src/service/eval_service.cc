@@ -1,0 +1,6 @@
+// Fixture tree: violates exactly `err-doc` — one emitted code is missing
+// from the protocol doc's error table.
+void EvalService::ExecuteEval(const ParsedCommand& cmd, const EmitFn& emit) {
+  EmitError(emit, "documented-code", "this one is in the table");
+  EmitError(emit, "mystery-code", "this one is not");
+}

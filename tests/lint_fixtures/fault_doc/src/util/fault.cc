@@ -1,0 +1,6 @@
+// Fixture tree: violates exactly `fault-doc` — one registered probe is
+// missing from the architecture doc.
+const char* const kFaultPoints[] = {
+    "io.documented.probe",
+    "io.mystery.probe",
+};

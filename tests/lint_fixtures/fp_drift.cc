@@ -1,0 +1,4 @@
+// Fixture: violates exactly `fp-drift` (linted as src/la/bad.cc).
+#pragma STDC FP_CONTRACT ON
+
+float Fixture(float a, float b, float c) { return a * b + c; }

@@ -1,0 +1,5 @@
+// Fixture: violates exactly `nolint-reason` (linted as src/eval/bad.cc).
+int Fixture() {
+  int uninitialized;  // NOLINT
+  return uninitialized;
+}

@@ -1,0 +1,4 @@
+// Fixture: violates exactly `simd-containment` (linted as src/eval/bad.cc).
+#include <immintrin.h>
+
+int Fixture() { return 0; }

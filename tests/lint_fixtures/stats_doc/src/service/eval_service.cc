@@ -1,0 +1,6 @@
+// Fixture tree: violates exactly `stats-doc` — ExecuteStats emits a key the
+// protocol doc never mentions.
+void EvalService::ExecuteStats(const EmitFn& emit) {
+  emit(StrFormat("documented_key=%llu secret_key=%llu", a, b));
+  emit("OK");
+}

@@ -1,0 +1,5 @@
+// Fixture: violates exactly `suppression-reason` — the allow comment names a
+// rule but gives no reason (linted as src/eval/bad.cc).
+
+// kgeval-lint: allow(determinism)
+int Fixture() { return 0; }

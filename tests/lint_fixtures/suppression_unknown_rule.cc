@@ -1,0 +1,6 @@
+// Fixture: violates exactly `suppression-reason` — the allow comment names a
+// rule id that does not exist (linted as src/eval/bad.cc).
+
+// kgeval-lint: allow(no-such-rule): misspelled rule ids must not silently
+// suppress nothing.
+int Fixture() { return 0; }

@@ -1,0 +1,7 @@
+// Fixture: violates exactly `thread-containment` (linted as src/eval/bad.cc).
+#include <thread>
+
+void Fixture() {
+  std::thread worker([] {});
+  worker.join();
+}

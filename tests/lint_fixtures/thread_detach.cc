@@ -1,0 +1,8 @@
+// Fixture: violates exactly `thread-containment` via detach, even inside an
+// allowed directory (linted as src/sched/bad.cc).
+#include <thread>
+
+void Fixture() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,37 @@
+/// CLI for the repo-invariant linter. Usage:
+///   kgeval_lint [repo-root]     lint the tree; exit 1 on findings
+///   kgeval_lint --list          print the rule table
+/// Run by ctest as the `repo_lint` test and by the CI lint job.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) {
+      for (const kgeval::lint::RuleInfo& rule : kgeval::lint::Rules()) {
+        std::printf("%-20s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    }
+    root = argv[i];
+  }
+  const std::vector<kgeval::lint::Finding> findings =
+      kgeval::lint::LintRepo(root);
+  for (const kgeval::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "kgeval_lint: %zu finding(s) in %s\n",
+                 findings.size(), root.c_str());
+    return 1;
+  }
+  std::printf("kgeval_lint: clean (%s)\n", root.c_str());
+  return 0;
+}
